@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"sam/internal/fiber"
+	"sam/internal/lang"
+)
+
+func TestParseFormats(t *testing.T) {
+	e := lang.MustParse("x(i) = B(i,j) * c(j)")
+	fm, err := parseFormats("B=csr,c=dense", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fm["B"].Levels; len(got) != 2 || got[0] != fiber.Dense || got[1] != fiber.Compressed {
+		t.Errorf("B format = %v", got)
+	}
+	if got := fm["c"].Levels; len(got) != 1 || got[0] != fiber.Dense {
+		t.Errorf("c format = %v", got)
+	}
+	if _, err := parseFormats("Z=dense", e); err == nil {
+		t.Error("unknown tensor accepted")
+	}
+	if _, err := parseFormats("B=wat", e); err == nil {
+		t.Error("unknown format kind accepted")
+	}
+	if _, err := parseFormats("B", e); err == nil {
+		t.Error("malformed binding accepted")
+	}
+	if fm, err := parseFormats("", e); err != nil || fm != nil {
+		t.Errorf("empty spec = %v, %v", fm, err)
+	}
+}

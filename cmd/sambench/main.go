@@ -1,0 +1,109 @@
+// Command sambench regenerates the tables and figures of the paper's
+// evaluation (Section 6) and prints the same rows and series the paper
+// reports.
+//
+// Usage:
+//
+//	sambench                 # run everything
+//	sambench -exp fig12      # one experiment
+//	sambench -exp table1,fig13a -scale 0.5
+//
+// Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
+// fig15, pointlevel.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sam/internal/experiments"
+)
+
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel"}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments to run (see usage)")
+	seed := flag.Int64("seed", 1, "random seed for synthetic data")
+	scale := flag.Float64("scale", 1.0, "problem-size scale for fig11/fig12 (1.0 = paper size)")
+	flag.Parse()
+
+	names := all
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := run(name, *seed, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, seed int64, scale float64) (string, error) {
+	switch name {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable1(rows), nil
+	case "table2":
+		rows, unique, total, err := experiments.Table2()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(rows, unique, total), nil
+	case "fig11":
+		pts, err := experiments.Figure11(seed, scale)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure11(pts), nil
+	case "fig12":
+		pts, err := experiments.Figure12(seed, scale)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure12(pts), nil
+	case "fig13a":
+		pts, err := experiments.Figure13a(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure13("Figure 13a: elementwise mul vs sparsity (urandom, dim 2000)", "nnz", pts), nil
+	case "fig13b":
+		pts, err := experiments.Figure13b(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure13("Figure 13b: elementwise mul vs run length (runs, nnz 400)", "run", pts), nil
+	case "fig13c":
+		pts, err := experiments.Figure13c(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure13("Figure 13c: elementwise mul vs block size (blocks, nnz 400)", "block", pts), nil
+	case "fig14":
+		rows, err := experiments.Figure14(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFigure14(rows), nil
+	case "fig15":
+		return experiments.RenderFigure15(experiments.Figure15(seed)), nil
+	case "pointlevel":
+		rows, err := experiments.PointVsLevel(seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderPointVsLevel(rows), nil
+	}
+	return "", fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
+}

@@ -1,0 +1,59 @@
+// Quickstart: compile sparse matrix-vector multiplication to a SAM dataflow
+// graph, simulate it on the cycle-approximate engine, and check the result
+// against the dense reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sam"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+
+	// A 1000x1000 matrix with 2% nonzeros and a sparse vector.
+	B := sam.RandomTensor("B", rng, 20000, 1000, 1000)
+	c := sam.RandomTensor("c", rng, 100, 1000)
+
+	// Compile x(i) = sum_j B(i,j) * c(j) with both operands fully
+	// compressed (DCSR matrix, sparse vector).
+	g, err := sam.Compile("x(i) = B(i,j) * c(j)", nil, sam.Schedule{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q to a SAM graph with %d blocks and %d streams\n",
+		g.Expr, len(g.Nodes), len(g.Edges))
+
+	res, err := sam.Simulate(g, sam.Inputs{"B": B, "c": c}, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d cycles, result has %d nonzeros\n", res.Cycles, res.Output.NNZ())
+
+	want, err := sam.Evaluate("x(i) = B(i,j) * c(j)", sam.Inputs{"B": B, "c": c})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sam.Equal(res.Output, want, 1e-9); err != nil {
+		log.Fatalf("simulator disagrees with reference: %v", err)
+	}
+	fmt.Println("matches the dense reference evaluator")
+
+	// A dense vector format plus the iterate-locate rewrite avoids
+	// co-iterating the vector (paper Section 4.2).
+	gLoc, err := sam.Compile("x(i) = B(i,j) * c(j)",
+		sam.Formats{"c": sam.Uniform(1, sam.Dense)},
+		sam.Schedule{UseLocators: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resLoc, err := sam.Simulate(gLoc, sam.Inputs{"B": B, "c": c}, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with a dense vector and locators: %d cycles (vs %d co-iterating)\n",
+		resLoc.Cycles, res.Cycles)
+}

@@ -1,0 +1,89 @@
+// SDDMM: sampled dense-dense matrix multiplication, the machine-learning
+// kernel of the paper's fusion study (Section 6.3, Figure 11). Compares the
+// fused dataflow (with and without locators) against the unfused
+// factorization into a dense matmul plus a sampling pass.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sam"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	const ij, k = 120, 16
+
+	// B samples: 95% sparse. C and D are dense factor matrices.
+	B := sam.RandomTensor("B", rng, ij*ij/20, ij, ij)
+	C := sam.RandomTensor("C", rng, ij*k, ij, k)
+	D := sam.RandomTensor("D", rng, ij*k, ij, k)
+	dense := sam.Formats{
+		"C": sam.Uniform(2, sam.Dense),
+		"D": sam.Uniform(2, sam.Dense),
+	}
+	expr := "X(i,j) = B(i,j) * C(i,k) * D(j,k)"
+	inputs := sam.Inputs{"B": B, "C": C, "D": D}
+
+	// Fused, co-iterating the dense factors.
+	gCo, err := sam.Compile(expr, dense, sam.Schedule{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	co, err := sam.Simulate(gCo, inputs, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fused, locating into the dense factors instead of co-iterating.
+	gLoc, err := sam.Compile(expr, dense, sam.Schedule{UseLocators: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc, err := sam.Simulate(gLoc, inputs, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unfused: factorize into T = C * D^T (dense matmul), then sample
+	// X = B .* T, adding the cycles of the two kernels.
+	gT, err := sam.Compile("T(i,j) = C(i,k) * D(j,k)", dense, sam.Schedule{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tRes, err := sam.Simulate(gT, sam.Inputs{"C": C, "D": D}, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gS, err := sam.Compile("X(i,j) = B(i,j) * T(i,j)", nil, sam.Schedule{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sRes, err := sam.Simulate(gS, sam.Inputs{"B": B, "T": tRes.Output}, sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// All three agree with the reference.
+	want, err := sam.Evaluate(expr, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, out := range map[string]*sam.Tensor{
+		"fused coiteration": co.Output, "fused locating": loc.Output, "unfused": sRes.Output,
+	} {
+		if err := sam.Equal(out, want, 1e-6); err != nil {
+			log.Fatalf("%s disagrees with reference: %v", name, err)
+		}
+	}
+
+	fmt.Printf("SDDMM %dx%d, K=%d, B 95%% sparse:\n", ij, ij, k)
+	fmt.Printf("  unfused (matmul + sample): %8d cycles\n", tRes.Cycles+sRes.Cycles)
+	fmt.Printf("  fused coiteration:         %8d cycles\n", co.Cycles)
+	fmt.Printf("  fused locating:            %8d cycles\n", loc.Cycles)
+	fmt.Println("\nfusion avoids materializing the dense product — the asymptotic")
+	fmt.Println("advantage that fixed-function matmul engines cannot express")
+	fmt.Println("(paper Sections 1 and 6.3).")
+}

@@ -1,0 +1,67 @@
+// Tensor decomposition kernels: the higher-order contractions behind
+// alternating least squares and tensor factorization (paper Table 1):
+// tensor-times-vector (TTV), tensor-times-matrix (TTM), and the matricized
+// tensor times Khatri-Rao product (MTTKRP) — all compiled to SAM graphs from
+// tensor index notation and verified against the dense reference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sam"
+)
+
+// varDims fixes every index variable's dimension across the kernels.
+var varDims = map[string]int{"i": 40, "j": 30, "k": 24, "l": 16}
+
+func main() {
+	rng := rand.New(rand.NewSource(13))
+	kernels := []struct {
+		name string
+		expr string
+	}{
+		{"TTV", "X(i,j) = B(i,j,k) * c(k)"},
+		{"TTM", "X(i,j,k) = B(i,j,l) * C(k,l)"},
+		{"MTTKRP", "X(i,j) = B(i,k,l) * C(j,k) * D(j,l)"},
+	}
+	for _, kr := range kernels {
+		e, err := sam.Parse(kr.expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs := sam.Inputs{}
+		for _, a := range e.Accesses() {
+			if _, ok := inputs[a.Tensor]; ok {
+				continue
+			}
+			dims := make([]int, len(a.Idx))
+			total := 1
+			for x, v := range a.Idx {
+				dims[x] = varDims[v]
+				total *= dims[x]
+			}
+			inputs[a.Tensor] = sam.RandomTensor(a.Tensor, rng, total/5, dims...)
+		}
+		g, err := sam.Compile(kr.expr, nil, sam.Schedule{})
+		if err != nil {
+			log.Fatalf("%s: %v", kr.name, err)
+		}
+		res, err := sam.Simulate(g, inputs, sam.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", kr.name, err)
+		}
+		want, err := sam.Evaluate(kr.expr, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sam.Equal(res.Output, want, 1e-6); err != nil {
+			log.Fatalf("%s disagrees with reference: %v", kr.name, err)
+		}
+		fmt.Printf("%-7s %-42s %9d cycles, %6d output nonzeros, %2d blocks\n",
+			kr.name, kr.expr, res.Cycles, res.Output.NNZ(), len(g.Nodes))
+	}
+	fmt.Println("\nall three contractions compile from tensor index notation to SAM")
+	fmt.Println("dataflow graphs with no per-kernel code (paper Table 1).")
+}

@@ -1,0 +1,34 @@
+package core
+
+import "fmt"
+
+// Block is one SAM dataflow primitive in the cycle simulator. Tick advances
+// the block by one cycle, consuming at most one token per input port and
+// emitting at most one token per output port; it reports whether the block
+// made progress. Done reports stream termination (the block has consumed and
+// propagated the done token).
+type Block interface {
+	Name() string
+	Tick() bool
+	Done() bool
+	Err() error
+}
+
+// basic carries the bookkeeping shared by all block implementations.
+type basic struct {
+	name string
+	done bool
+	err  error
+}
+
+func (b *basic) Name() string { return b.name }
+func (b *basic) Done() bool   { return b.done }
+func (b *basic) Err() error   { return b.err }
+
+// fail records a protocol violation (misaligned streams, unexpected token)
+// and terminates the block; the engine surfaces the error.
+func (b *basic) fail(format string, args ...any) bool {
+	b.err = fmt.Errorf("%s: %s", b.name, fmt.Sprintf(format, args...))
+	b.done = true
+	return false
+}

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Net is a wired set of blocks and queues — one executable SAM dataflow
+// graph fragment. It owns queue lifecycle (the two-phase visibility flip)
+// and the cycle loop; the higher-level sim package builds Nets from compiled
+// graph IR, and tests build them by hand.
+type Net struct {
+	Blocks []Block
+	Queues []*Queue
+}
+
+// NewQueue creates and registers a queue.
+func (n *Net) NewQueue(label string) *Queue {
+	q := NewQueue(label)
+	n.Queues = append(n.Queues, q)
+	return q
+}
+
+// NewBoundedQueue creates and registers a queue with finite capacity.
+func (n *Net) NewBoundedQueue(label string, capacity int) *Queue {
+	q := NewQueue(label)
+	q.Cap = capacity
+	n.Queues = append(n.Queues, q)
+	return q
+}
+
+// Add registers blocks.
+func (n *Net) Add(bs ...Block) {
+	n.Blocks = append(n.Blocks, bs...)
+}
+
+// Run ticks every block once per cycle until all blocks are done, flipping
+// queue visibility between cycles. It returns the number of simulated cycles.
+// A cycle with no progress and no staged tokens is a deadlock; exceeding
+// limit aborts (both return errors naming the stuck blocks).
+func (n *Net) Run(limit int) (int, error) {
+	cycles := 0
+	for {
+		if cycles >= limit {
+			return cycles, fmt.Errorf("core: cycle limit %d exceeded; unfinished: %s", limit, n.unfinished())
+		}
+		progress := false
+		allDone := true
+		for _, b := range n.Blocks {
+			if b.Tick() {
+				progress = true
+			}
+			if err := b.Err(); err != nil {
+				return cycles, err
+			}
+			if !b.Done() {
+				allDone = false
+			}
+		}
+		staged := false
+		for _, q := range n.Queues {
+			if q.StagedLen() > 0 {
+				staged = true
+			}
+		}
+		for _, q := range n.Queues {
+			q.EndCycle()
+		}
+		cycles++
+		if allDone {
+			return cycles, nil
+		}
+		if !progress && !staged {
+			return cycles, fmt.Errorf("core: deadlock after %d cycles; unfinished: %s", cycles, n.unfinished())
+		}
+	}
+}
+
+func (n *Net) unfinished() string {
+	s := ""
+	for _, b := range n.Blocks {
+		if !b.Done() {
+			if s != "" {
+				s += ", "
+			}
+			s += b.Name()
+		}
+	}
+	if s == "" {
+		s = "(none)"
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package core
+
+import "sam/internal/token"
+
+// Parallelizer forks a sequential stream across P lanes at fiber
+// granularity (paper Section 4.4): each innermost fiber goes to one lane in
+// round-robin order, and higher-level stops and the done token are replicated
+// to every lane so each lane's stream stays well-formed.
+type Parallelizer struct {
+	basic
+	in   *Queue
+	outs []*Out
+	lane int
+}
+
+// NewParallelizer builds a P-way parallelizer.
+func NewParallelizer(name string, in *Queue, outs []*Out) *Parallelizer {
+	return &Parallelizer{basic: basic{name: name}, in: in, outs: outs}
+}
+
+// Tick implements Block.
+func (b *Parallelizer) Tick() bool {
+	if b.done {
+		return false
+	}
+	for _, o := range b.outs {
+		if !o.CanPush() {
+			return false
+		}
+	}
+	t, ok := b.in.Pop()
+	if !ok {
+		return false
+	}
+	switch t.Kind {
+	case token.Val, token.Empty:
+		b.outs[b.lane].Push(t)
+		return true
+	case token.Stop:
+		if t.StopLevel() == 0 {
+			b.outs[b.lane].Push(t)
+			b.lane = (b.lane + 1) % len(b.outs)
+			return true
+		}
+		for _, o := range b.outs {
+			o.Push(t)
+		}
+		b.lane = 0
+		return true
+	case token.Done:
+		for _, o := range b.outs {
+			o.Push(t)
+		}
+		b.done = true
+		return true
+	}
+	return b.fail("unexpected token %v", t)
+}
+
+// Serializer joins P lane streams produced by a Parallelizer (possibly after
+// per-lane processing) back into one sequential stream, reading fibers in the
+// same round-robin order.
+type Serializer struct {
+	basic
+	ins  []*Queue
+	out  *Out
+	lane int
+}
+
+// NewSerializer builds a P-way serializer.
+func NewSerializer(name string, ins []*Queue, out *Out) *Serializer {
+	return &Serializer{basic: basic{name: name}, ins: ins, out: out}
+}
+
+// Tick implements Block.
+func (b *Serializer) Tick() bool {
+	if b.done {
+		return false
+	}
+	if !b.out.CanPush() {
+		return false
+	}
+	t, ok := b.ins[b.lane].Peek()
+	if !ok {
+		return false
+	}
+	switch t.Kind {
+	case token.Val, token.Empty:
+		b.ins[b.lane].Pop()
+		b.out.Push(t)
+		return true
+	case token.Stop:
+		if t.StopLevel() == 0 {
+			b.ins[b.lane].Pop()
+			b.out.Push(t)
+			b.lane = (b.lane + 1) % len(b.ins)
+			return true
+		}
+		// Higher-level stop: every lane carries a replica; consume them all.
+		for _, q := range b.ins {
+			h, ok := q.Peek()
+			if !ok {
+				return false
+			}
+			if !h.IsStop() || h.StopLevel() != t.StopLevel() {
+				return b.fail("lanes misaligned at stop %v vs %v", t, h)
+			}
+		}
+		for _, q := range b.ins {
+			q.Pop()
+		}
+		b.out.Push(t)
+		b.lane = 0
+		return true
+	case token.Done:
+		for _, q := range b.ins {
+			h, ok := q.Peek()
+			if !ok {
+				return false
+			}
+			if !h.IsDone() {
+				return b.fail("lanes misaligned at done: %v", h)
+			}
+		}
+		for _, q := range b.ins {
+			q.Pop()
+		}
+		b.out.Push(t)
+		b.done = true
+		return true
+	}
+	return b.fail("unexpected token %v", t)
+}

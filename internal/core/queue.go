@@ -1,0 +1,160 @@
+// Package core implements the Sparse Abstract Machine's dataflow blocks as
+// cycle-stepped state machines — the paper's primary contribution (Section 3
+// and Section 4).
+//
+// Every block obeys the paper's fully-pipelined cost model: per cycle it
+// consumes at most one token from each input port and emits at most one token
+// on each output port. Blocks communicate through Queues; queues are
+// two-phase (tokens pushed during cycle t become visible at t+1) so that
+// simulated cycle counts do not depend on the order blocks are ticked in.
+package core
+
+import "sam/internal/token"
+
+// Queue is a FIFO stream buffer between two blocks. A zero capacity means
+// unbounded (the paper's infinite input queue assumption); a positive
+// capacity models finite hardware buffering with backpressure.
+type Queue struct {
+	Label string
+	Cap   int
+
+	ready  []token.Tok
+	staged []token.Tok
+	head   int
+
+	// Statistics for the Figure 14 stream-breakdown study.
+	Stats StreamStats
+}
+
+// StreamStats counts, per stream, the token-type breakdown used in the
+// paper's Figure 14: data tokens, stop tokens, the done token, empty tokens,
+// and idle cycles (cycles in which the wire carried nothing).
+type StreamStats struct {
+	Data  int64
+	Stop  int64
+	Empty int64
+	Done  int64
+	Idle  int64
+
+	pushedThisCycle bool
+}
+
+// Total returns the number of cycles accounted for by the stream.
+func (s StreamStats) Total() int64 { return s.Data + s.Stop + s.Empty + s.Done + s.Idle }
+
+// NewQueue returns an unbounded queue.
+func NewQueue(label string) *Queue { return &Queue{Label: label} }
+
+// Len is the number of visible (ready) tokens.
+func (q *Queue) Len() int { return len(q.ready) - q.head }
+
+// StagedLen is the number of tokens pushed this cycle, not yet visible.
+func (q *Queue) StagedLen() int { return len(q.staged) }
+
+// Full reports whether a push would exceed the queue capacity.
+func (q *Queue) Full() bool {
+	return q.Cap > 0 && q.Len()+len(q.staged) >= q.Cap
+}
+
+// Push stages a token for visibility next cycle. The caller must have
+// checked Full (blocks check all output ports before emitting anything).
+func (q *Queue) Push(t token.Tok) {
+	q.staged = append(q.staged, t)
+	q.Stats.pushedThisCycle = true
+	switch t.Kind {
+	case token.Val:
+		q.Stats.Data++
+	case token.Stop:
+		q.Stats.Stop++
+	case token.Empty:
+		q.Stats.Empty++
+	case token.Done:
+		q.Stats.Done++
+	}
+}
+
+// Peek returns the head token without consuming it.
+func (q *Queue) Peek() (token.Tok, bool) {
+	if q.head >= len(q.ready) {
+		return token.Tok{}, false
+	}
+	return q.ready[q.head], true
+}
+
+// Pop consumes and returns the head token.
+func (q *Queue) Pop() (token.Tok, bool) {
+	if q.head >= len(q.ready) {
+		return token.Tok{}, false
+	}
+	t := q.ready[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.ready) {
+		q.ready = append(q.ready[:0], q.ready[q.head:]...)
+		q.head = 0
+	}
+	return t, true
+}
+
+// EndCycle makes staged tokens visible and accounts an idle cycle if nothing
+// was pushed. The engine calls it once per cycle on every queue.
+func (q *Queue) EndCycle() {
+	if len(q.staged) > 0 {
+		q.ready = append(q.ready, q.staged...)
+		q.staged = q.staged[:0]
+	}
+	if !q.Stats.pushedThisCycle {
+		q.Stats.Idle++
+	}
+	q.Stats.pushedThisCycle = false
+}
+
+// Preload fills the queue with an entire recorded stream, used by tests and
+// by source-less graph fragments.
+func (q *Queue) Preload(s token.Stream) {
+	q.ready = append(q.ready, s...)
+}
+
+// Drain consumes and returns every visible token; used by tests.
+func (q *Queue) Drain() token.Stream {
+	out := make(token.Stream, 0, q.Len())
+	for {
+		t, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Out is an output port. A port may fan out to several queues (a forked
+// wire); a push delivers the token to every queue, and the port can push
+// only when no destination is full.
+type Out struct {
+	qs []*Queue
+}
+
+// NewOut builds an output port over destination queues.
+func NewOut(qs ...*Queue) *Out { return &Out{qs: qs} }
+
+// Attach adds a destination queue to the port.
+func (o *Out) Attach(q *Queue) { o.qs = append(o.qs, q) }
+
+// CanPush reports whether every destination has room.
+func (o *Out) CanPush() bool {
+	for _, q := range o.qs {
+		if q.Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// Push delivers a token to every destination queue.
+func (o *Out) Push(t token.Tok) {
+	for _, q := range o.qs {
+		q.Push(t)
+	}
+}
+
+// Queues exposes the destinations (used by the engine for bookkeeping).
+func (o *Out) Queues() []*Queue { return o.qs }

@@ -1,0 +1,145 @@
+package custard
+
+import (
+	"fmt"
+
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/lang"
+)
+
+// CompileBitvector lowers an elementwise multiplication whose operands are
+// stored entirely in bitvector levels (paper Section 4.3) to the vectorized
+// bitvector pipeline: bitvector scanners, word-wise intersecters, b-lane
+// vector loads and ALUs, and bitvector writers. Order-1 operands produce the
+// flat "BV" configuration of Figure 13; order-2 operands (one split level
+// over chunk bitvectors) produce the bit-tree "BV w/ split" configuration,
+// where the outer intersection prunes whole chunks before the inner level is
+// touched.
+func CompileBitvector(e *lang.Einsum, formats lang.Formats) (*graph.Graph, error) {
+	bin, ok := e.RHS.(*lang.Binary)
+	if !ok || bin.Op != lang.Mul {
+		return nil, fmt.Errorf("custard: bitvector pipeline supports a single elementwise multiplication, got %s", e)
+	}
+	la, ok1 := bin.L.(*lang.Access)
+	ra, ok2 := bin.R.(*lang.Access)
+	if !ok1 || !ok2 {
+		return nil, fmt.Errorf("custard: bitvector pipeline operands must be plain accesses, got %s", e)
+	}
+	if len(e.ReductionVars()) != 0 {
+		return nil, fmt.Errorf("custard: bitvector pipeline does not support reductions, got %s", e)
+	}
+	order := len(la.Idx)
+	if order < 1 || order > 2 || len(ra.Idx) != order || len(e.LHS.Idx) != order {
+		return nil, fmt.Errorf("custard: bitvector pipeline supports order 1 or 2 elementwise expressions, got %s", e)
+	}
+	for i := range la.Idx {
+		if la.Idx[i] != e.LHS.Idx[i] || ra.Idx[i] != e.LHS.Idx[i] {
+			return nil, fmt.Errorf("custard: bitvector pipeline requires aligned elementwise accesses, got %s", e)
+		}
+	}
+
+	g := &graph.Graph{Name: e.LHS.Tensor, Expr: e.String()}
+	ops := []*lang.Access{la, ra}
+	unames := []string{la.Tensor, ra.Tensor}
+	if unames[0] == unames[1] {
+		unames[1] = unames[1] + "#2"
+	}
+	for k, a := range ops {
+		f, ok := formats[a.Tensor]
+		if !ok {
+			f = lang.Uniform(order, fiber.Bitvector)
+		}
+		for _, lf := range f.Levels {
+			if lf != fiber.Bitvector {
+				return nil, fmt.Errorf("custard: bitvector pipeline requires bitvector levels on %q, got %v", a.Tensor, lf)
+			}
+		}
+		mo := make([]int, order)
+		for i := range mo {
+			mo[i] = i
+		}
+		g.Bindings = append(g.Bindings, graph.Binding{
+			Operand: unames[k], Source: a.Tensor, ModeOrder: mo, Formats: f.Levels,
+		})
+	}
+
+	roots := make([]*graph.Node, 2)
+	scans := make([]*graph.Node, 2)
+	for k := range ops {
+		roots[k] = g.AddNode(&graph.Node{Kind: graph.Root, Label: "Root " + unames[k]})
+		scans[k] = g.AddNode(&graph.Node{
+			Kind: graph.BVScanner, Label: fmt.Sprintf("BVScanner %s.%s", unames[k], e.LHS.Idx[0]),
+			Tensor: unames[k], Level: 0, Format: fiber.Bitvector,
+		})
+		g.Connect(roots[k], "ref", scans[k], "ref")
+	}
+	isect := g.AddNode(&graph.Node{Kind: graph.BVIntersect, Label: "BVIntersect " + e.LHS.Idx[0]})
+	for k := range ops {
+		g.Connect(scans[k], "bv", isect, fmt.Sprintf("bv%d", k))
+		g.Connect(scans[k], "ref", isect, fmt.Sprintf("ref%d", k))
+	}
+
+	if order == 2 {
+		// Bit-tree: expand the surviving outer chunks into references and
+		// scan + intersect the inner bitvector level per chunk.
+		inner := make([]*graph.Node, 2)
+		for k := range ops {
+			exp := g.AddNode(&graph.Node{Kind: graph.BVExpand, Label: "BVExpand " + unames[k]})
+			g.Connect(isect, "bv", exp, "bv")
+			g.Connect(isect, fmt.Sprintf("mask%d", k), exp, "mask")
+			g.Connect(isect, fmt.Sprintf("base%d", k), exp, "base")
+			inner[k] = g.AddNode(&graph.Node{
+				Kind: graph.BVScanner, Label: fmt.Sprintf("BVScanner %s.%s", unames[k], e.LHS.Idx[1]),
+				Tensor: unames[k], Level: 1, Format: fiber.Bitvector,
+			})
+			g.Connect(exp, "ref", inner[k], "ref")
+		}
+		outerW := g.AddNode(&graph.Node{
+			Kind: graph.BVWriter, Label: fmt.Sprintf("BVWriter %s.%s", e.LHS.Tensor, e.LHS.Idx[0]),
+			Tensor: e.LHS.Tensor, OutLevel: 0, Format: fiber.Bitvector,
+		})
+		g.Connect(isect, "bv", outerW, "bv")
+		isect = g.AddNode(&graph.Node{Kind: graph.BVIntersect, Label: "BVIntersect " + e.LHS.Idx[1]})
+		for k := range ops {
+			g.Connect(inner[k], "bv", isect, fmt.Sprintf("bv%d", k))
+			g.Connect(inner[k], "ref", isect, fmt.Sprintf("ref%d", k))
+		}
+	}
+
+	loads := make([]*graph.Node, 2)
+	for k := range ops {
+		loads[k] = g.AddNode(&graph.Node{
+			Kind: graph.VecLoad, Label: "VecLoad " + unames[k] + " vals",
+			Tensor: unames[k],
+		})
+		g.Connect(isect, "bv", loads[k], "bv")
+		g.Connect(isect, fmt.Sprintf("mask%d", k), loads[k], "mask")
+		g.Connect(isect, fmt.Sprintf("base%d", k), loads[k], "base")
+	}
+	alu := g.AddNode(&graph.Node{Kind: graph.VecALU, Label: "VecALU *", Op: lang.Mul})
+	g.Connect(loads[0], "val", alu, "a")
+	g.Connect(loads[1], "val", alu, "b")
+
+	lastLevel := order - 1
+	w := g.AddNode(&graph.Node{
+		Kind: graph.BVWriter, Label: fmt.Sprintf("BVWriter %s.%s", e.LHS.Tensor, e.LHS.Idx[lastLevel]),
+		Tensor: e.LHS.Tensor, OutLevel: lastLevel, Format: fiber.Bitvector,
+	})
+	g.Connect(isect, "bv", w, "bv")
+	vw := g.AddNode(&graph.Node{Kind: graph.VecValsWriter, Label: "VecValsWriter " + e.LHS.Tensor})
+	g.Connect(isect, "bv", vw, "bv")
+	g.Connect(alu, "val", vw, "val")
+
+	g.OutputTensor = e.LHS.Tensor
+	g.OutputVars = append([]string(nil), e.LHS.Idx...)
+	g.LHSVars = append([]string(nil), e.LHS.Idx...)
+	for lvl := 0; lvl < order; lvl++ {
+		g.OutputFormats = append(g.OutputFormats, fiber.Bitvector)
+		g.OutputDims = append(g.OutputDims, graph.DimRef{Tensor: la.Tensor, Mode: lvl})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("custard: bitvector pipeline invalid: %w", err)
+	}
+	return g, nil
+}

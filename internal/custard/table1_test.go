@@ -1,0 +1,93 @@
+package custard
+
+import (
+	"testing"
+
+	"sam/internal/graph"
+	"sam/internal/lang"
+)
+
+// table1 lists the paper's Table 1 expressions with the SAM primitive counts
+// it reports: level scanners, repeaters, intersecters, unioners, ALUs,
+// reducers, coordinate droppers, level writers (including the value writer)
+// and arrays. Loop orders are alphabetical except where the paper notes the
+// SpM*SpM dataflow class.
+var table1 = []struct {
+	name  string
+	expr  string
+	order []string
+	want  [9]int // scan, repeat, intersect, union, alu, reduce, drop, writer, array
+}{
+	{"SpMV", "x(i) = B(i,j) * c(j)", nil, [9]int{3, 1, 1, 0, 1, 1, 1, 2, 2}},
+	{"SpMSpM-linear-comb", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}, [9]int{4, 2, 1, 0, 1, 1, 1, 3, 2}},
+	{"SpMSpM-inner-prod", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "j", "k"}, [9]int{4, 2, 1, 0, 1, 1, 2, 3, 2}},
+	{"SpMSpM-outer-prod", "X(i,j) = B(i,k) * C(k,j)", []string{"k", "i", "j"}, [9]int{4, 2, 1, 0, 1, 1, 0, 3, 2}},
+	{"SDDMM", "X(i,j) = B(i,j) * C(i,k) * D(j,k)", nil, [9]int{6, 3, 3, 0, 2, 1, 2, 3, 3}},
+	{"InnerProd", "x = B(i,j,k) * C(i,j,k)", nil, [9]int{6, 0, 3, 0, 1, 3, 0, 1, 2}},
+	{"TTV", "X(i,j) = B(i,j,k) * c(k)", nil, [9]int{4, 2, 1, 0, 1, 1, 2, 3, 2}},
+	{"TTM", "X(i,j,k) = B(i,j,l) * C(k,l)", nil, [9]int{5, 3, 1, 0, 1, 1, 3, 4, 2}},
+	{"MTTKRP", "X(i,j) = B(i,k,l) * C(j,k) * D(j,l)", nil, [9]int{7, 5, 3, 0, 2, 2, 3, 3, 3}},
+	{"Residual", "x(i) = b(i) - C(i,j) * d(j)", nil, [9]int{4, 1, 1, 1, 2, 1, 1, 2, 3}},
+	{"MatTransMul", "x(i) = alpha * B^T(i,j) * c(j) + beta * d(i)", nil, [9]int{4, 4, 1, 1, 4, 1, 1, 2, 5}},
+	{"MMAdd", "X(i,j) = B(i,j) + C(i,j)", nil, [9]int{4, 0, 0, 2, 1, 0, 0, 3, 2}},
+	{"Plus3", "X(i,j) = B(i,j) + C(i,j) + D(i,j)", nil, [9]int{6, 0, 0, 2, 2, 0, 0, 3, 3}},
+	{"Plus2", "X(i,j,k) = B(i,j,k) + C(i,j,k)", nil, [9]int{6, 0, 0, 3, 1, 0, 0, 4, 2}},
+}
+
+// counts extracts the Table 1 primitive counts from a compiled graph.
+func counts(g *graph.Graph) [9]int {
+	return [9]int{
+		g.Count(graph.Scanner) + g.Count(graph.BVScanner) + 2*g.Count(graph.GallopIntersect),
+		g.Count(graph.Repeat),
+		g.Count(graph.Intersect) + g.Count(graph.GallopIntersect),
+		g.Count(graph.Union),
+		g.Count(graph.ALU),
+		g.Count(graph.Reduce),
+		g.Count(graph.CrdDrop),
+		g.Count(graph.CrdWriter) + g.Count(graph.ValsWriter),
+		g.Count(graph.Array),
+	}
+}
+
+// TestTable1PrimitiveCounts reproduces the SAM primitive composition counts
+// of paper Table 1 for all twelve expressions (SpM*SpM in all three dataflow
+// classes).
+func TestTable1PrimitiveCounts(t *testing.T) {
+	for _, tc := range table1 {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := lang.Parse(tc.expr)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			g, err := Compile(e, nil, lang.Schedule{LoopOrder: tc.order})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := counts(g)
+			if got != tc.want {
+				t.Errorf("primitive counts mismatch for %s:\n got:  scan=%d repeat=%d intersect=%d union=%d alu=%d reduce=%d drop=%d writer=%d array=%d\n want: scan=%d repeat=%d intersect=%d union=%d alu=%d reduce=%d drop=%d writer=%d array=%d",
+					tc.expr,
+					got[0], got[1], got[2], got[3], got[4], got[5], got[6], got[7], got[8],
+					tc.want[0], tc.want[1], tc.want[2], tc.want[3], tc.want[4], tc.want[5], tc.want[6], tc.want[7], tc.want[8])
+			}
+		})
+	}
+}
+
+// TestCompileValidatesGraphs checks structural validity for every Table 1
+// compilation (Compile already validates; this pins it).
+func TestCompileValidatesGraphs(t *testing.T) {
+	for _, tc := range table1 {
+		e := lang.MustParse(tc.expr)
+		g, err := Compile(e, nil, lang.Schedule{LoopOrder: tc.order})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", tc.name, err)
+		}
+		if dot := g.DOT(); len(dot) == 0 {
+			t.Errorf("%s: empty DOT output", tc.name)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperTable1 pins the paper's Table 1 counts.
+var paperTable1 = map[string][9]int{
+	"SpMV":                   {3, 1, 1, 0, 1, 1, 1, 2, 2},
+	"SpM*SpM (linear comb.)": {4, 2, 1, 0, 1, 1, 1, 3, 2},
+	"SpM*SpM (inner prod.)":  {4, 2, 1, 0, 1, 1, 2, 3, 2},
+	"SpM*SpM (outer prod.)":  {4, 2, 1, 0, 1, 1, 0, 3, 2},
+	"SDDMM":                  {6, 3, 3, 0, 2, 1, 2, 3, 3},
+	"InnerProd":              {6, 0, 3, 0, 1, 3, 0, 1, 2},
+	"TTV":                    {4, 2, 1, 0, 1, 1, 2, 3, 2},
+	"TTM":                    {5, 3, 1, 0, 1, 1, 3, 4, 2},
+	"MTTKRP":                 {7, 5, 3, 0, 2, 2, 3, 3, 3},
+	"Residual":               {4, 1, 1, 1, 2, 1, 1, 2, 3},
+	"MatTransMul":            {4, 4, 1, 1, 4, 1, 1, 2, 5},
+	"MMAdd":                  {4, 0, 0, 2, 1, 0, 0, 3, 2},
+	"Plus3":                  {6, 0, 0, 2, 2, 0, 0, 3, 3},
+	"Plus2":                  {6, 0, 0, 3, 1, 0, 0, 4, 2},
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(paperTable1) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(paperTable1))
+	}
+	for _, r := range rows {
+		want, ok := paperTable1[r.Name]
+		if !ok {
+			t.Errorf("unexpected row %q", r.Name)
+			continue
+		}
+		got := [9]int{r.Scan, r.Repeat, r.Intersect, r.Union, r.ALU, r.Reduce, r.Drop, r.Writer, r.Array}
+		if got != want {
+			t.Errorf("%s: counts %v, want %v", r.Name, got, want)
+		}
+	}
+	if out := RenderTable1(rows); !strings.Contains(out, "MTTKRP") {
+		t.Error("rendered table missing MTTKRP row")
+	}
+}
+
+// TestFigure12Shape checks the paper's qualitative claim: inner-product
+// orders (ijk, jik) are at least several times slower than linear
+// combination (ikj, jki) and outer product (kij, kji).
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size dataflow-order sweep")
+	}
+	pts, err := Figure12(1, 0.4) // 100x100x40 keeps the test fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[string]int{}
+	for _, p := range pts {
+		cycles[p.Order] = p.Cycles
+	}
+	for _, inner := range []string{"ijk", "jik"} {
+		for _, fast := range []string{"ikj", "jki", "kij", "kji"} {
+			if cycles[inner] < 2*cycles[fast] {
+				t.Errorf("expected %s (%d cycles) to be >= 2x slower than %s (%d cycles)",
+					inner, cycles[inner], fast, cycles[fast])
+			}
+		}
+	}
+}
+
+// TestFigure11Shape checks that unfused SDDMM is far slower than fused and
+// that locating beats coiteration at small K.
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size fusion sweep")
+	}
+	pts, err := Figure11(1, 0.3) // 75x75
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Unfused <= p.FusedCoiteration {
+			t.Errorf("K=%d: unfused (%d) should exceed fused coiteration (%d)", p.K, p.Unfused, p.FusedCoiteration)
+		}
+		if p.Unfused <= p.FusedLocating {
+			t.Errorf("K=%d: unfused (%d) should exceed fused locating (%d)", p.K, p.Unfused, p.FusedLocating)
+		}
+	}
+	if pts[0].FusedLocating >= pts[0].FusedCoiteration {
+		t.Errorf("K=1: locating (%d) should beat coiteration (%d)", pts[0].FusedLocating, pts[0].FusedCoiteration)
+	}
+	// The locating advantage shrinks as K grows (the dense inner dimension
+	// dominates).
+	gapSmallK := float64(pts[0].FusedCoiteration) / float64(pts[0].FusedLocating)
+	gapLargeK := float64(pts[len(pts)-1].FusedCoiteration) / float64(pts[len(pts)-1].FusedLocating)
+	if gapLargeK > gapSmallK {
+		t.Errorf("locating advantage should shrink with K: ratio %f at K=1 vs %f at K=100", gapSmallK, gapLargeK)
+	}
+}
+
+// TestFigure13Shapes checks the qualitative curves of Figure 13a/b.
+func TestFigure13Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("format sweep")
+	}
+	a, err := Figure13a(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(pts []Fig13Point, x int, cfg Fig13Config) int {
+		for _, p := range pts {
+			if p.X == x && p.Config == cfg {
+				return p.Cycles
+			}
+		}
+		t.Fatalf("missing point x=%d cfg=%s", x, cfg)
+		return 0
+	}
+	// Dense is flat and worst at high sparsity; Crd grows with nnz.
+	if d10, d1000 := get(a, 10, CfgDense), get(a, 1000, CfgDense); d1000 > d10*2 {
+		t.Errorf("dense should be flat: %d at nnz=10 vs %d at nnz=1000", d10, d1000)
+	}
+	if c10, c1000 := get(a, 10, CfgCrd), get(a, 1000, CfgCrd); c1000 < c10*4 {
+		t.Errorf("compressed should grow with nnz: %d at nnz=10 vs %d at nnz=1000", c10, c1000)
+	}
+	if get(a, 10, CfgCrd) >= get(a, 10, CfgDense) {
+		t.Error("compressed should beat dense at high sparsity")
+	}
+	// BV is flat (pseudo-dense word iteration).
+	if b10, b1000 := get(a, 10, CfgBV), get(a, 1000, CfgBV); b1000 > 3*b10 {
+		t.Errorf("bitvector should stay near-flat: %d at nnz=10 vs %d at nnz=1000", b10, b1000)
+	}
+
+	b, err := Figure13b(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skipping gains with run length; plain Crd stays flat (nnz constant).
+	if s1, s100 := get(b, 1, CfgCrdSkip), get(b, 100, CfgCrdSkip); s100 >= s1 {
+		t.Errorf("skipping should improve with run length: %d at run=1 vs %d at run=100", s1, s100)
+	}
+	if c1, c100 := get(b, 1, CfgCrd), get(b, 100, CfgCrd); c100 > c1*2 || c1 > c100*2 {
+		t.Errorf("plain compressed should stay near-flat across runs: %d vs %d", c1, c100)
+	}
+}
+
+// TestFigure14Averages checks the stream-breakdown bookkeeping and the
+// paper's qualitative claims: outer streams are mostly idle, inner-level
+// control overhead is modest.
+func TestFigure14Averages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table 3 set")
+	}
+	rows, err := Figure14(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table3) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Table3))
+	}
+	var outerIdle, innerCtl float64
+	for _, r := range rows {
+		for _, bd := range []StreamBreakdown{r.Outer, r.Inner} {
+			sum := bd.Idle + bd.Done + bd.Stop + bd.NonControl
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("%s: breakdown sums to %f, want 1", r.Matrix, sum)
+			}
+		}
+		outerIdle += r.Outer.Idle
+		innerCtl += r.Inner.Stop + r.Inner.Done
+	}
+	n := float64(len(rows))
+	if avg := outerIdle / n; avg < 0.5 {
+		t.Errorf("average outer idle fraction %.2f, expected mostly idle (paper: 83%%)", avg)
+	}
+	if avg := innerCtl / n; avg > 0.45 {
+		t.Errorf("average inner control overhead %.2f, expected modest (paper: 16%%)", avg)
+	}
+}
+
+// TestPointVsLevel checks the Section 3.8 result: matrices with more than
+// ~4 nonzeros per row are more efficient level-based.
+func TestPointVsLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table 3 set")
+	}
+	rows, err := PointVsLevel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Threshold && r.LevelTokens >= r.PointTokens {
+			t.Errorf("%s: above the 4x threshold but level tokens %d >= point tokens %d",
+				r.Matrix, r.LevelTokens, r.PointTokens)
+		}
+	}
+}
+
+// TestTable2Shape checks the ablation ranking resembles the paper's: the
+// scanner/writer removals lose almost everything, multipliers and reducers
+// lose most, unioners and droppers lose little.
+func TestTable2Shape(t *testing.T) {
+	rows, unique, all, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unique == 0 || all == 0 {
+		t.Fatal("empty corpus")
+	}
+	pct := map[string]float64{}
+	for _, r := range rows {
+		pct[r.Primitive] = r.UniquePct
+	}
+	if pct["Comp. + Uncomp. Level Scanners"] < 95 {
+		t.Errorf("removing all scanners should lose nearly everything, got %.1f%%", pct["Comp. + Uncomp. Level Scanners"])
+	}
+	if pct["Comp. + Uncomp. Level Writers"] < 90 {
+		t.Errorf("removing all writers should lose nearly everything, got %.1f%%", pct["Comp. + Uncomp. Level Writers"])
+	}
+	if pct["Multiplier"] < 60 {
+		t.Errorf("multiplier removal should lose most, got %.1f%%", pct["Multiplier"])
+	}
+	if pct["Unioner"] > 40 {
+		t.Errorf("unioner removal should lose little, got %.1f%%", pct["Unioner"])
+	}
+	if pct["Unioner"] <= 0 || pct["Coordinate Dropper"] <= 0 {
+		t.Error("union/dropper removals should lose something")
+	}
+	if pct["Intersecter keep Locator"] >= pct["Intersecter w/ Locator Removed"] {
+		t.Errorf("locators should rescue some intersections: %.1f%% vs %.1f%%",
+			pct["Intersecter keep Locator"], pct["Intersecter w/ Locator Removed"])
+	}
+	out := RenderTable2(rows, unique, all)
+	if !strings.Contains(out, "Repeater") {
+		t.Error("rendered table missing rows")
+	}
+}
+
+// TestFigure15Regions checks the three performance regions of the ExTensor
+// recreation. With 128x128 tiles the tile-occupancy knee sits at
+// dim = 128*sqrt(nnz), so within the paper's sweep the 5000-nonzero curve
+// rises, peaks, and saturates, while the 50000-nonzero curve is still in the
+// rising region throughout (as in the paper's Figure 15).
+func TestFigure15Regions(t *testing.T) {
+	pts := Figure15(1)
+	series := func(nnz int) []float64 {
+		var out []float64
+		for _, p := range pts {
+			if p.NNZ == nnz {
+				out = append(out, p.Cycles)
+			}
+		}
+		return out
+	}
+	s5k := series(5000)
+	if len(s5k) < 8 {
+		t.Fatalf("expected a full dimension sweep, got %d points", len(s5k))
+	}
+	peak := 0
+	for i, v := range s5k {
+		if v > s5k[peak] {
+			peak = i
+		}
+	}
+	if peak == 0 {
+		t.Error("5000-nnz curve should rise from the smallest dimension")
+	}
+	// After the peak the curve flattens/falls (tile skipping + saturation):
+	// the last point must not exceed the peak.
+	if last := s5k[len(s5k)-1]; last > s5k[peak] {
+		t.Errorf("5000-nnz curve should saturate after its peak: last %.3g > peak %.3g", last, s5k[peak])
+	}
+	// The 50k curve is still rising at the end of the sweep.
+	s50k := series(50000)
+	if s50k[len(s50k)-1] <= s50k[0] {
+		t.Error("50000-nnz curve should rise across the sweep")
+	}
+	// At any fixed dimension, more nonzeros cost more cycles.
+	for i := range s5k {
+		if s50k[i] <= s5k[i] {
+			t.Errorf("at sweep index %d, 50k nnz (%.3g) should cost more than 5k nnz (%.3g)", i, s50k[i], s5k[i])
+		}
+	}
+}

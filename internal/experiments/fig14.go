@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// Table3Matrix describes one SuiteSparse matrix from the paper's Table 3.
+// The real matrices are not redistributable here, so the study synthesizes
+// uniform-random matrices with identical dimensions and nonzero counts —
+// the token breakdown depends on rows/nnz-per-row statistics, which these
+// match by construction (see DESIGN.md).
+type Table3Matrix struct {
+	Name string
+	Rows int
+	Cols int
+	NNZ  int
+}
+
+// Table3 lists the paper's fifteen matrices (5 small, 5 median, 5 large).
+var Table3 = []Table3Matrix{
+	{"relat3", 8, 5, 24},
+	{"lpi_itest6", 11, 17, 29},
+	{"LFAT5", 14, 14, 46},
+	{"ch4-4-b1", 72, 16, 144},
+	{"ch7-6-b1", 630, 42, 1260},
+	{"bwm2000", 2000, 2000, 7996},
+	{"G32", 2000, 2000, 8000},
+	{"progas", 1650, 1900, 8897},
+	{"lp_maros", 846, 1966, 10137},
+	{"G42", 2000, 2000, 23558},
+	{"stormg2-27", 14439, 37485, 94274},
+	{"lpl3", 10828, 33686, 100525},
+	{"nemsemm2", 6943, 48878, 182012},
+	{"rlfdual", 8052, 74970, 282031},
+	{"rail507", 507, 63516, 409856},
+}
+
+// Synthesize draws the stand-in matrix for one Table 3 entry.
+func (m Table3Matrix) Synthesize(seed int64) *tensor.COO {
+	rng := rand.New(rand.NewSource(seed))
+	return tensor.UniformRandom("B", rng, m.NNZ, m.Rows, m.Cols)
+}
+
+// StreamBreakdown is the token-type composition of one stream, as fractions
+// of total simulated cycles (paper Figure 14).
+type StreamBreakdown struct {
+	Idle       float64
+	Done       float64
+	Stop       float64
+	NonControl float64
+}
+
+// Fig14Row is one matrix's outer (Bi) and inner (Bj) stream breakdowns.
+type Fig14Row struct {
+	Matrix string
+	Cycles int
+	Outer  StreamBreakdown
+	Inner  StreamBreakdown
+}
+
+// Figure14 runs the matrix identity expression X(i,j) = B(i,j) on every
+// Table 3 stand-in and reports the coordinate-stream token breakdowns of the
+// two level scanners.
+func Figure14(seed int64) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, m := range Table3 {
+		b := m.Synthesize(seed)
+		inputs := map[string]*tensor.COO{"B": b}
+		res, _, err := compileRun("X(i,j) = B(i,j)", nil, lang.Schedule{}, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", m.Name, err)
+		}
+		outer, ok := res.Streams["Scanner B.i/crd"]
+		if !ok {
+			return nil, fmt.Errorf("fig14 %s: outer scanner stream not monitored (have %d streams)", m.Name, len(res.Streams))
+		}
+		inner, ok := res.Streams["Scanner B.j/crd"]
+		if !ok {
+			return nil, fmt.Errorf("fig14 %s: inner scanner stream not monitored", m.Name)
+		}
+		total := float64(res.Cycles)
+		rows = append(rows, Fig14Row{
+			Matrix: m.Name,
+			Cycles: res.Cycles,
+			Outer: StreamBreakdown{
+				Idle:       float64(outer.Idle) / total,
+				Done:       float64(outer.Done) / total,
+				Stop:       float64(outer.Stop) / total,
+				NonControl: float64(outer.Data+outer.Empty) / total,
+			},
+			Inner: StreamBreakdown{
+				Idle:       float64(inner.Idle) / total,
+				Done:       float64(inner.Done) / total,
+				Stop:       float64(inner.Stop) / total,
+				NonControl: float64(inner.Data+inner.Empty) / total,
+			},
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure14 prints per-matrix breakdowns plus the paper's headline
+// averages (non-idle control overhead per level).
+func RenderFigure14(rows []Fig14Row) string {
+	header := []string{"Matrix", "Bi idle", "Bi done", "Bi stop", "Bi data", "Bj idle", "Bj done", "Bj stop", "Bj data"}
+	var body [][]string
+	var outerCtl, innerCtl, outerIdle float64
+	pct := func(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Matrix,
+			pct(r.Outer.Idle), pct(r.Outer.Done), pct(r.Outer.Stop), pct(r.Outer.NonControl),
+			pct(r.Inner.Idle), pct(r.Inner.Done), pct(r.Inner.Stop), pct(r.Inner.NonControl),
+		})
+		outerCtl += r.Outer.Stop + r.Outer.Done
+		innerCtl += r.Inner.Stop + r.Inner.Done
+		outerIdle += r.Outer.Idle
+	}
+	n := float64(len(rows))
+	summary := fmt.Sprintf(
+		"average non-idle control overhead: outer %.2f%%, inner %.2f%%; average outer idle %.2f%%\n",
+		100*outerCtl/n, 100*innerCtl/n, 100*outerIdle/n)
+	return "Figure 14: token breakdown for X(i,j) = B(i,j) (fractions of total cycles)\n" +
+		table(header, body) + summary
+}
+
+// PointLevelRow compares the paper's level-based stream representation with
+// the flattened point-tuple alternative of Section 3.8 for one matrix.
+type PointLevelRow struct {
+	Matrix      string
+	LevelTokens int64 // tokens on the Bi and Bj coordinate streams
+	PointTokens int64 // 3*nnz + done for (i, j, value) tuples
+	Threshold   bool  // nnz > 3.98 * rows, the paper's break-even bound
+}
+
+// PointVsLevel reproduces the Section 3.8 analysis on the Table 3 set.
+func PointVsLevel(seed int64) ([]PointLevelRow, error) {
+	var rows []PointLevelRow
+	for _, m := range Table3 {
+		b := m.Synthesize(seed)
+		inputs := map[string]*tensor.COO{"B": b}
+		res, _, err := compileRun("X(i,j) = B(i,j)", nil, lang.Schedule{}, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("pointlevel %s: %w", m.Name, err)
+		}
+		outer := res.Streams["Scanner B.i/crd"]
+		inner := res.Streams["Scanner B.j/crd"]
+		lvl := outer.Data + outer.Stop + outer.Done + inner.Data + inner.Stop + inner.Done
+		rows = append(rows, PointLevelRow{
+			Matrix:      m.Name,
+			LevelTokens: lvl,
+			PointTokens: int64(3*b.NNZ()) + 1,
+			Threshold:   float64(b.NNZ()) > 3.98*float64(m.Rows),
+		})
+	}
+	return rows, nil
+}
+
+// RenderPointVsLevel prints the comparison.
+func RenderPointVsLevel(rows []PointLevelRow) string {
+	header := []string{"Matrix", "Level tokens", "Point tokens", "Level wins", "nnz > 3.98*rows"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Matrix, fmt.Sprint(r.LevelTokens), fmt.Sprint(r.PointTokens),
+			fmt.Sprint(r.LevelTokens < r.PointTokens), fmt.Sprint(r.Threshold),
+		})
+	}
+	return "Section 3.8: level-based vs point-based stream token counts\n" + table(header, body)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sam/internal/custard"
+	"sam/internal/graph"
+	"sam/internal/lang"
+)
+
+// Table1Row is one line of paper Table 1: an expression and its SAM
+// primitive composition counts.
+type Table1Row struct {
+	Name      string
+	Expr      string
+	LoopOrder []string
+	Scan      int
+	Repeat    int
+	Intersect int
+	Union     int
+	ALU       int
+	Reduce    int
+	Drop      int
+	Writer    int
+	Array     int
+}
+
+// Table1Cases lists the paper's twelve expressions (SpM*SpM in all three
+// dataflow classes) with alphabetical loop orders unless noted.
+var Table1Cases = []struct {
+	Name  string
+	Expr  string
+	Order []string
+}{
+	{"SpMV", "x(i) = B(i,j) * c(j)", nil},
+	{"SpM*SpM (linear comb.)", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+	{"SpM*SpM (inner prod.)", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "j", "k"}},
+	{"SpM*SpM (outer prod.)", "X(i,j) = B(i,k) * C(k,j)", []string{"k", "i", "j"}},
+	{"SDDMM", "X(i,j) = B(i,j) * C(i,k) * D(j,k)", nil},
+	{"InnerProd", "x = B(i,j,k) * C(i,j,k)", nil},
+	{"TTV", "X(i,j) = B(i,j,k) * c(k)", nil},
+	{"TTM", "X(i,j,k) = B(i,j,l) * C(k,l)", nil},
+	{"MTTKRP", "X(i,j) = B(i,k,l) * C(j,k) * D(j,l)", nil},
+	{"Residual", "x(i) = b(i) - C(i,j) * d(j)", nil},
+	{"MatTransMul", "x(i) = alpha * B^T(i,j) * c(j) + beta * d(i)", nil},
+	{"MMAdd", "X(i,j) = B(i,j) + C(i,j)", nil},
+	{"Plus3", "X(i,j) = B(i,j) + C(i,j) + D(i,j)", nil},
+	{"Plus2", "X(i,j,k) = B(i,j,k) + C(i,j,k)", nil},
+}
+
+// Table1 compiles every case and counts primitives.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, tc := range Table1Cases {
+		e, err := lang.Parse(tc.Expr)
+		if err != nil {
+			return nil, err
+		}
+		g, err := custard.Compile(e, nil, lang.Schedule{LoopOrder: tc.Order})
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", tc.Expr, err)
+		}
+		rows = append(rows, Table1Row{
+			Name:      tc.Name,
+			Expr:      tc.Expr,
+			LoopOrder: tc.Order,
+			Scan:      g.Count(graph.Scanner) + g.Count(graph.BVScanner) + 2*g.Count(graph.GallopIntersect),
+			Repeat:    g.Count(graph.Repeat),
+			Intersect: g.Count(graph.Intersect) + g.Count(graph.GallopIntersect),
+			Union:     g.Count(graph.Union),
+			ALU:       g.Count(graph.ALU),
+			Reduce:    g.Count(graph.Reduce),
+			Drop:      g.Count(graph.CrdDrop),
+			Writer:    g.Count(graph.CrdWriter) + g.Count(graph.ValsWriter),
+			Array:     g.Count(graph.Array),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the table in the paper's column order.
+func RenderTable1(rows []Table1Row) string {
+	header := []string{"Name", "LvlScan", "Repeat", "Intersect", "Union", "ALU", "Reduce", "CrdDrop", "LvlWr", "Array"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Name,
+			fmt.Sprint(r.Scan), fmt.Sprint(r.Repeat), fmt.Sprint(r.Intersect),
+			fmt.Sprint(r.Union), fmt.Sprint(r.ALU), fmt.Sprint(r.Reduce),
+			fmt.Sprint(r.Drop), fmt.Sprint(r.Writer), fmt.Sprint(r.Array),
+		})
+	}
+	return "Table 1: SAM primitive counts (paper Table 1)\n" + table(header, body)
+}

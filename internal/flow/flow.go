@@ -1,0 +1,485 @@
+// Package flow executes SAM dataflow graphs as concurrent goroutine
+// pipelines: every block is a goroutine, every stream a channel, mirroring
+// the paper's streaming dataflow abstraction directly in Go's CSP model.
+//
+// The block semantics are implemented independently from the cycle-stepped
+// state machines in internal/core; the two executors are differentially
+// tested against each other and against the dense gold evaluator. The flow
+// executor computes functional results only (no cycle counts) and is the
+// natural "binding" of SAM graphs onto a concurrent runtime.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"sam/internal/fiber"
+	"sam/internal/token"
+)
+
+// Stream is a channel of SAM tokens terminated by a done token.
+type Stream <-chan token.Tok
+
+// violation aborts a pipeline on a stream protocol violation; the runner
+// recovers it into an error.
+type violation struct{ err error }
+
+func fail(format string, args ...any) {
+	panic(violation{fmt.Errorf("flow: %s", fmt.Sprintf(format, args...))})
+}
+
+// Runner owns the goroutines of one pipeline and collects violations.
+type Runner struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// Go launches one block goroutine with violation recovery.
+func (r *Runner) Go(f func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				v, ok := p.(violation)
+				if !ok {
+					panic(p)
+				}
+				r.mu.Lock()
+				r.errs = append(r.errs, v.err)
+				r.mu.Unlock()
+			}
+		}()
+		f()
+	}()
+}
+
+// Wait joins all goroutines and returns the first violation, if any.
+func (r *Runner) Wait() error {
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	return nil
+}
+
+// chanBuf is the per-edge channel buffer; elastic buffers make every edge
+// effectively unbounded so arbitrary DAG skew cannot deadlock.
+const chanBuf = 64
+
+// Elastic returns an unbounded edge: tokens are buffered in a goroutine so
+// the producer never blocks on a slow consumer.
+func (r *Runner) Elastic(in Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		var buf []token.Tok
+		inCh := (<-chan token.Tok)(in)
+		for inCh != nil || len(buf) > 0 {
+			if len(buf) == 0 {
+				t, ok := <-inCh
+				if !ok {
+					return
+				}
+				buf = append(buf, t)
+				continue
+			}
+			select {
+			case t, ok := <-inCh:
+				if !ok {
+					inCh = nil
+					continue
+				}
+				buf = append(buf, t)
+			case out <- buf[0]:
+				buf = buf[1:]
+			}
+		}
+	})
+	return out
+}
+
+// Source replays a recorded stream.
+func (r *Runner) Source(s token.Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		for _, t := range s {
+			out <- t
+		}
+	})
+	return out
+}
+
+// Root emits the depth-0 root reference stream.
+func (r *Runner) Root() Stream { return r.Source(token.Root()) }
+
+// Collect drains a stream into a recorded slice.
+func Collect(in Stream) token.Stream {
+	var out token.Stream
+	for t := range in {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fanout duplicates a stream to n consumers.
+func (r *Runner) Fanout(in Stream, n int) []Stream {
+	if n == 1 {
+		return []Stream{in}
+	}
+	outs := make([]chan token.Tok, n)
+	ret := make([]Stream, n)
+	for i := range outs {
+		outs[i] = make(chan token.Tok, chanBuf)
+		ret[i] = r.Elastic(outs[i])
+	}
+	r.Go(func() {
+		for t := range in {
+			for _, o := range outs {
+				o <- t
+			}
+		}
+		for _, o := range outs {
+			close(o)
+		}
+	})
+	return ret
+}
+
+// next reads one token, failing on premature channel closure.
+func next(in Stream, who string) token.Tok {
+	t, ok := <-in
+	if !ok {
+		fail("%s: stream closed before done token", who)
+	}
+	return t
+}
+
+// Scanner is the level scanner (Definition 3.1) as a goroutine.
+func (r *Runner) Scanner(name string, lvl fiber.Level, in Stream) (Stream, Stream) {
+	crd := make(chan token.Tok, chanBuf)
+	ref := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(crd)
+		defer close(ref)
+		sep := false
+		emit := func(c, f token.Tok) {
+			crd <- c
+			ref <- f
+		}
+		for t := range in {
+			switch t.Kind {
+			case token.Val, token.Empty:
+				if sep {
+					emit(token.S(0), token.S(0))
+				}
+				if t.IsVal() {
+					f := int(t.N)
+					n := lvl.FiberLen(f)
+					for i := 0; i < n; i++ {
+						emit(token.C(lvl.Coord(f, i)), token.C(lvl.ChildRef(f, i)))
+					}
+				}
+				sep = true
+			case token.Stop:
+				sep = false
+				emit(token.S(t.StopLevel()+1), token.S(t.StopLevel()+1))
+			case token.Done:
+				if sep {
+					emit(token.S(0), token.S(0))
+				}
+				emit(token.D(), token.D())
+				return
+			}
+		}
+	})
+	return crd, ref
+}
+
+// Repeater is the broadcast block (Definition 3.4) as a goroutine.
+func (r *Runner) Repeater(name string, inCrd, inRef Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		var cur token.Tok
+		have := false
+		for t := range inCrd {
+			switch t.Kind {
+			case token.Val:
+				if !have {
+					cur = next(inRef, name)
+					if !cur.IsVal() && !cur.IsEmpty() {
+						fail("%s: expected reference, got %v", name, cur)
+					}
+					have = true
+				}
+				out <- cur
+			case token.Stop:
+				m := t.StopLevel()
+				if !have {
+					// Either an empty fiber's reference or (for m >= 1) a
+					// structural stop; reading decides.
+					rt := next(inRef, name)
+					switch {
+					case rt.IsVal() || rt.IsEmpty():
+						if m >= 1 {
+							rs := next(inRef, name)
+							if !rs.IsStop() || rs.StopLevel() != m-1 {
+								fail("%s: misaligned ref stop %v for crd %v", name, rs, t)
+							}
+						}
+					case rt.IsStop() && m >= 1 && rt.StopLevel() == m-1:
+						// structural empty group; stop consumed
+					default:
+						fail("%s: misaligned ref token %v for crd stop %v", name, rt, t)
+					}
+				} else if m >= 1 {
+					rs := next(inRef, name)
+					if !rs.IsStop() || rs.StopLevel() != m-1 {
+						fail("%s: misaligned ref stop %v for crd %v", name, rs, t)
+					}
+				}
+				have = false
+				out <- t
+			case token.Done:
+				if d := next(inRef, name); !d.IsDone() {
+					fail("%s: ref stream not done: %v", name, d)
+				}
+				out <- token.D()
+				return
+			}
+		}
+	})
+	return out
+}
+
+// Intersect is the m-ary intersecter (Definition 3.2) as a goroutine.
+func (r *Runner) Intersect(name string, inCrd, inRef []Stream) (Stream, []Stream) {
+	crd := make(chan token.Tok, chanBuf)
+	refs := make([]chan token.Tok, len(inRef))
+	refOut := make([]Stream, len(inRef))
+	for i := range refs {
+		refs[i] = make(chan token.Tok, chanBuf)
+		refOut[i] = refs[i]
+	}
+	r.Go(func() {
+		defer close(crd)
+		for _, c := range refs {
+			defer close(c)
+		}
+		m := len(inCrd)
+		heads := make([]token.Tok, m)
+		for i := range heads {
+			heads[i] = next(inCrd[i], name)
+		}
+		advance := func(i int) {
+			next(inRef[i], name) // refs move in lockstep
+			heads[i] = next(inCrd[i], name)
+		}
+		advanceKeep := func(i int) token.Tok {
+			rt := next(inRef[i], name)
+			heads[i] = next(inCrd[i], name)
+			return rt
+		}
+		for {
+			nVal, nDone := 0, 0
+			var minC int64
+			stopLvl := -1
+			for _, t := range heads {
+				switch t.Kind {
+				case token.Val:
+					if nVal == 0 || t.N < minC {
+						minC = t.N
+					}
+					nVal++
+				case token.Stop:
+					stopLvl = t.StopLevel()
+				case token.Done:
+					nDone++
+				}
+			}
+			switch {
+			case nDone == m:
+				crd <- token.D()
+				for i := range refs {
+					next(inRef[i], name)
+					refs[i] <- token.D()
+				}
+				return
+			case nDone > 0:
+				fail("%s: premature done", name)
+			case nVal == m:
+				all := true
+				for _, t := range heads {
+					if t.N != minC {
+						all = false
+					}
+				}
+				if all {
+					crd <- token.C(minC)
+					for i := range heads {
+						refs[i] <- advanceKeep(i)
+					}
+					continue
+				}
+				for i, t := range heads {
+					if t.IsVal() && t.N == minC {
+						advance(i)
+					}
+				}
+			case nVal == 0:
+				crd <- token.S(stopLvl)
+				for i := range heads {
+					rt := advanceKeep(i)
+					if !rt.IsStop() {
+						fail("%s: ref misaligned at stop: %v", name, rt)
+					}
+					refs[i] <- rt
+				}
+			default:
+				for i, t := range heads {
+					if t.IsVal() {
+						advance(i)
+					}
+				}
+			}
+		}
+	})
+	return crd, refOut
+}
+
+// Union is the m-ary unioner (Definition 3.3) as a goroutine.
+func (r *Runner) Union(name string, inCrd, inRef []Stream) (Stream, []Stream) {
+	crd := make(chan token.Tok, chanBuf)
+	refs := make([]chan token.Tok, len(inRef))
+	refOut := make([]Stream, len(inRef))
+	for i := range refs {
+		refs[i] = make(chan token.Tok, chanBuf)
+		refOut[i] = refs[i]
+	}
+	r.Go(func() {
+		defer close(crd)
+		for _, c := range refs {
+			defer close(c)
+		}
+		m := len(inCrd)
+		heads := make([]token.Tok, m)
+		for i := range heads {
+			heads[i] = next(inCrd[i], name)
+		}
+		for {
+			nVal, nDone := 0, 0
+			var minC int64
+			stopLvl := -1
+			for _, t := range heads {
+				switch t.Kind {
+				case token.Val:
+					if nVal == 0 || t.N < minC {
+						minC = t.N
+					}
+					nVal++
+				case token.Stop:
+					stopLvl = t.StopLevel()
+				case token.Done:
+					nDone++
+				}
+			}
+			switch {
+			case nDone == m:
+				crd <- token.D()
+				for i := range refs {
+					next(inRef[i], name)
+					refs[i] <- token.D()
+				}
+				return
+			case nDone > 0:
+				fail("%s: premature done", name)
+			case nVal == 0:
+				crd <- token.S(stopLvl)
+				for i := range heads {
+					rt := next(inRef[i], name)
+					if !rt.IsStop() {
+						fail("%s: ref misaligned at stop: %v", name, rt)
+					}
+					refs[i] <- rt
+					heads[i] = next(inCrd[i], name)
+				}
+			default:
+				crd <- token.C(minC)
+				for i, t := range heads {
+					if t.IsVal() && t.N == minC {
+						refs[i] <- next(inRef[i], name)
+						heads[i] = next(inCrd[i], name)
+					} else {
+						refs[i] <- token.N()
+					}
+				}
+			}
+		}
+	})
+	return crd, refOut
+}
+
+// ArrayLoad is the array block in load mode (Definition 3.5).
+func (r *Runner) ArrayLoad(name string, vals []float64, in Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		for t := range in {
+			switch t.Kind {
+			case token.Val:
+				if t.N < 0 || t.N >= int64(len(vals)) {
+					fail("%s: reference %d out of range", name, t.N)
+				}
+				out <- token.V(vals[t.N])
+			default:
+				out <- t
+				if t.IsDone() {
+					return
+				}
+			}
+		}
+	})
+	return out
+}
+
+// ALU combines two aligned value streams (Definition 3.6).
+func (r *Runner) ALU(name string, op func(a, b float64) float64, inA, inB Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		for {
+			a := next(inA, name)
+			b := next(inB, name)
+			dataA := a.IsVal() || a.IsEmpty()
+			dataB := b.IsVal() || b.IsEmpty()
+			switch {
+			case dataA && dataB:
+				if a.IsEmpty() && b.IsEmpty() {
+					out <- token.N()
+					continue
+				}
+				va, vb := 0.0, 0.0
+				if a.IsVal() {
+					va = a.V
+				}
+				if b.IsVal() {
+					vb = b.V
+				}
+				out <- token.V(op(va, vb))
+			case a.IsStop() && b.IsStop() && a.StopLevel() == b.StopLevel():
+				out <- a
+			case a.IsDone() && b.IsDone():
+				out <- token.D()
+				return
+			default:
+				fail("%s: misaligned operands %v vs %v", name, a, b)
+			}
+		}
+	})
+	return out
+}

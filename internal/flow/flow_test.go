@@ -1,0 +1,155 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/sim"
+	"sam/internal/tensor"
+	"sam/internal/token"
+)
+
+// TestScannerMatchesFigure2 checks the goroutine scanner against the paper's
+// Figure 2 streams.
+func TestScannerMatchesFigure2(t *testing.T) {
+	ten, err := fiberFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{}
+	crdI, refI := r.Scanner("Bi", ten.Levels[0], r.Root())
+	crdJ, refJ := r.Scanner("Bj", ten.Levels[1], refI)
+	gotI := Collect(crdI)
+	gotJ := Collect(crdJ)
+	gotRefJ := Collect(refJ)
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !token.Equal(gotI, token.MustParse("0 1 3 S0 D")) {
+		t.Errorf("Bi crd = %s", gotI)
+	}
+	if !token.Equal(gotJ, token.MustParse("1 S0 0 2 S0 1 3 S1 D")) {
+		t.Errorf("Bj crd = %s", gotJ)
+	}
+	if !token.Equal(gotRefJ, token.MustParse("0 S0 1 2 S0 3 4 S1 D")) {
+		t.Errorf("Bj ref = %s", gotRefJ)
+	}
+}
+
+func fiberFig1() (*fiber.Tensor, error) {
+	c := tensor.NewCOO("B", 4, 4)
+	c.Append(1, 0, 1)
+	c.Append(2, 1, 0)
+	c.Append(3, 1, 2)
+	c.Append(4, 3, 1)
+	c.Append(5, 3, 3)
+	return c.Build(fiber.Compressed, fiber.Compressed)
+}
+
+// TestFlowMatchesCycleEngine differentially tests the goroutine executor
+// against the cycle engine and the gold evaluator on the Table 1 battery.
+func TestFlowMatchesCycleEngine(t *testing.T) {
+	dims := map[string]int{"i": 12, "j": 10, "k": 8, "l": 6}
+	cases := []struct {
+		expr  string
+		order []string
+	}{
+		{"x(i) = B(i,j) * c(j)", nil},
+		{"X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+		{"X(i,j) = B(i,k) * C(k,j)", []string{"i", "j", "k"}},
+		{"X(i,j) = B(i,k) * C(k,j)", []string{"k", "i", "j"}},
+		{"X(i,j) = B(i,j) * C(i,k) * D(j,k)", nil},
+		{"x = B(i,j,k) * C(i,j,k)", nil},
+		{"X(i,j) = B(i,j,k) * c(k)", nil},
+		{"X(i,j,k) = B(i,j,l) * C(k,l)", nil},
+		{"X(i,j) = B(i,k,l) * C(j,k) * D(j,l)", nil},
+		{"x(i) = b(i) - C(i,j) * d(j)", nil},
+		{"x(i) = alpha * B^T(i,j) * c(j) + beta * d(i)", nil},
+		{"X(i,j) = B(i,j) + C(i,j)", nil},
+		{"X(i,j) = B(i,j) + C(i,j) + D(i,j)", nil},
+		{"X(i,j,k) = B(i,j,k) + C(i,j,k)", nil},
+	}
+	for ci, tc := range cases {
+		for seed := int64(1); seed <= 2; seed++ {
+			name := fmt.Sprintf("case%d/seed%d", ci, seed)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed * 31))
+				e := lang.MustParse(tc.expr)
+				inputs := map[string]*tensor.COO{}
+				for _, a := range e.Accesses() {
+					if _, ok := inputs[a.Tensor]; ok {
+						continue
+					}
+					if len(a.Idx) == 0 {
+						s := tensor.NewCOO(a.Tensor)
+						s.Append(rng.Float64() + 0.5)
+						inputs[a.Tensor] = s
+						continue
+					}
+					ds := make([]int, len(a.Idx))
+					total := 1
+					for i, v := range a.Idx {
+						ds[i] = dims[v]
+						total *= ds[i]
+					}
+					nnz := total / 6
+					if nnz < 1 {
+						nnz = 1
+					}
+					inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
+				}
+				g, err := custard.Compile(e, nil, lang.Schedule{LoopOrder: tc.order})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				flowOut, err := Run(g, inputs)
+				if err != nil {
+					t.Fatalf("flow run: %v", err)
+				}
+				cycleOut, err := sim.Run(g, inputs, sim.Options{})
+				if err != nil {
+					t.Fatalf("cycle run: %v", err)
+				}
+				if err := tensor.Equal(flowOut, cycleOut.Output, 1e-9); err != nil {
+					t.Errorf("%s: flow disagrees with cycle engine: %v", tc.expr, err)
+				}
+				gold, err := lang.Gold(e, inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tensor.Equal(flowOut, gold, 1e-9); err != nil {
+					t.Errorf("%s: flow disagrees with gold: %v", tc.expr, err)
+				}
+			})
+		}
+	}
+}
+
+// TestFlowLocators differentially tests locator graphs.
+func TestFlowLocators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := tensor.UniformRandom("B", rng, 30, 12, 10)
+	c := tensor.UniformRandom("c", rng, 10, 10)
+	inputs := map[string]*tensor.COO{"B": b, "c": c}
+	e := lang.MustParse("x(i) = B(i,j) * c(j)")
+	g, err := custard.Compile(e, lang.Formats{"c": lang.Uniform(1, fiber.Dense)},
+		lang.Schedule{UseLocators: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flowOut, err := Run(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, err := lang.Gold(e, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.Equal(flowOut, gold, 1e-9); err != nil {
+		t.Error(err)
+	}
+}

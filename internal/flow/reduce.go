@@ -1,0 +1,432 @@
+package flow
+
+import (
+	"sort"
+
+	"sam/internal/token"
+)
+
+// ScalarReduce sums every innermost group of a value stream (Definition 3.7,
+// n = 0), lowering stops by one level and emitting explicit zeros for empty
+// groups.
+func (r *Runner) ScalarReduce(name string, in Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		acc := 0.0
+		for t := range in {
+			switch t.Kind {
+			case token.Val:
+				acc += t.V
+			case token.Empty:
+			case token.Stop:
+				out <- token.V(acc)
+				acc = 0
+				if t.StopLevel() >= 1 {
+					out <- token.S(t.StopLevel() - 1)
+				}
+			case token.Done:
+				out <- token.D()
+				return
+			}
+		}
+	})
+	return out
+}
+
+// VectorReduce merges the fibers within each group of a paired
+// coordinate/value stream (Definition 3.7, n = 1), emitting unique sorted
+// coordinates with summed values.
+func (r *Runner) VectorReduce(name string, inCrd, inVal Stream) (Stream, Stream) {
+	outCrd := make(chan token.Tok, chanBuf)
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outCrd)
+		defer close(outVal)
+		acc := map[int64]float64{}
+		flush := func(stop int) {
+			keys := make([]int64, 0, len(acc))
+			for c := range acc {
+				keys = append(keys, c)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, c := range keys {
+				outCrd <- token.C(c)
+				outVal <- token.V(acc[c])
+			}
+			outCrd <- token.S(stop)
+			outVal <- token.S(stop)
+			acc = map[int64]float64{}
+		}
+		for {
+			c := next(inCrd, name)
+			v := next(inVal, name)
+			switch {
+			case c.IsVal() && (v.IsVal() || v.IsEmpty()):
+				if v.IsVal() {
+					acc[c.N] += v.V
+				} else if _, ok := acc[c.N]; !ok {
+					acc[c.N] = 0
+				}
+			case c.IsStop() && (v.IsVal() || v.IsEmpty()):
+				if v.IsVal() && v.V != 0 {
+					fail("%s: nonzero orphan value %v", name, v)
+				}
+				v = next(inVal, name)
+				for v.IsVal() || v.IsEmpty() {
+					if v.IsVal() && v.V != 0 {
+						fail("%s: nonzero orphan value %v", name, v)
+					}
+					v = next(inVal, name)
+				}
+				if !v.IsStop() || v.StopLevel() != c.StopLevel() {
+					fail("%s: misaligned after orphan: %v vs %v", name, c, v)
+				}
+				if c.StopLevel() >= 1 {
+					flush(c.StopLevel() - 1)
+				}
+			case c.IsStop() && v.IsStop() && c.StopLevel() == v.StopLevel():
+				if c.StopLevel() >= 1 {
+					flush(c.StopLevel() - 1)
+				}
+			case c.IsDone() && v.IsDone():
+				outCrd <- token.D()
+				outVal <- token.D()
+				return
+			default:
+				fail("%s: misaligned inputs %v vs %v", name, c, v)
+			}
+		}
+	})
+	return outCrd, outVal
+}
+
+// MatrixReduce accumulates a two-level sub-tensor (Definition 3.7, n = 2).
+func (r *Runner) MatrixReduce(name string, inOuter, inInner, inVal Stream) (Stream, Stream, Stream) {
+	outOuter := make(chan token.Tok, chanBuf)
+	outInner := make(chan token.Tok, chanBuf)
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outOuter)
+		defer close(outInner)
+		defer close(outVal)
+		acc := map[int64]map[int64]float64{}
+		var curOuter int64
+		haveOuter := false
+		flush := func(stop int) {
+			is := make([]int64, 0, len(acc))
+			for i := range acc {
+				is = append(is, i)
+			}
+			sort.Slice(is, func(a, b int) bool { return is[a] < is[b] })
+			for x, i := range is {
+				if x > 0 {
+					outInner <- token.S(0)
+					outVal <- token.S(0)
+				}
+				outOuter <- token.C(i)
+				js := make([]int64, 0, len(acc[i]))
+				for j := range acc[i] {
+					js = append(js, j)
+				}
+				sort.Slice(js, func(a, b int) bool { return js[a] < js[b] })
+				for _, j := range js {
+					outInner <- token.C(j)
+					outVal <- token.V(acc[i][j])
+				}
+			}
+			outOuter <- token.S(stop - 1)
+			outInner <- token.S(stop)
+			outVal <- token.S(stop)
+			acc = map[int64]map[int64]float64{}
+		}
+		for {
+			c := next(inInner, name)
+			v := next(inVal, name)
+			switch {
+			case c.IsVal() && (v.IsVal() || v.IsEmpty()):
+				if !haveOuter {
+					o := next(inOuter, name)
+					if !o.IsVal() {
+						fail("%s: expected outer coordinate, got %v", name, o)
+					}
+					curOuter = o.N
+					haveOuter = true
+				}
+				row := acc[curOuter]
+				if row == nil {
+					row = map[int64]float64{}
+					acc[curOuter] = row
+				}
+				if v.IsVal() {
+					row[c.N] += v.V
+				} else if _, ok := row[c.N]; !ok {
+					row[c.N] = 0
+				}
+			case c.IsStop() && (v.IsVal() || v.IsEmpty()):
+				// Orphan zeros from a structurally empty inner reduction:
+				// discard until the matching stop arrives.
+				for v.IsVal() || v.IsEmpty() {
+					if v.IsVal() && v.V != 0 {
+						fail("%s: nonzero orphan value %v", name, v)
+					}
+					v = next(inVal, name)
+				}
+				if !v.IsStop() || v.StopLevel() != c.StopLevel() {
+					fail("%s: misaligned after orphan: %v vs %v", name, c, v)
+				}
+				fallthrough
+			case c.IsStop() && v.IsStop() && c.StopLevel() == v.StopLevel():
+				m := c.StopLevel()
+				if m == 0 {
+					if !haveOuter {
+						o := next(inOuter, name)
+						if !o.IsVal() {
+							fail("%s: expected outer coordinate for empty fiber, got %v", name, o)
+						}
+					}
+					haveOuter = false
+					continue
+				}
+				if !haveOuter {
+					o := next(inOuter, name)
+					if o.IsVal() {
+						// trailing empty inner fiber's outer coordinate
+						o = next(inOuter, name)
+					}
+					if !o.IsStop() || o.StopLevel() != m-1 {
+						fail("%s: outer misaligned: %v vs inner %v", name, o, c)
+					}
+				} else {
+					o := next(inOuter, name)
+					if !o.IsStop() || o.StopLevel() != m-1 {
+						fail("%s: outer misaligned: %v vs inner %v", name, o, c)
+					}
+				}
+				haveOuter = false
+				if m >= 2 {
+					flush(m - 1)
+				}
+			case c.IsDone() && v.IsDone():
+				if o := next(inOuter, name); !o.IsDone() {
+					fail("%s: outer stream not done: %v", name, o)
+				}
+				outOuter <- token.D()
+				outInner <- token.D()
+				outVal <- token.D()
+				return
+			default:
+				fail("%s: misaligned inputs %v vs %v", name, c, v)
+			}
+		}
+	})
+	return outOuter, outInner, outVal
+}
+
+// DropCrd is the coordinate dropper in coordinate mode (Definition 3.9) with
+// the same asymmetric stop rules as the cycle implementation.
+func (r *Runner) DropCrd(name string, inOuter, inInner Stream) (Stream, Stream) {
+	outOuter := make(chan token.Tok, chanBuf)
+	outInner := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outOuter)
+		defer close(outInner)
+		var pending token.Tok
+		havePending := false
+		emitted := false
+		everEmitted := false
+		held := -1
+		flushHeld := func() {
+			if held >= 0 && everEmitted {
+				outInner <- token.S(held)
+			}
+			held = -1
+		}
+		for t := range inInner {
+			switch t.Kind {
+			case token.Val:
+				flushHeld()
+				if !emitted {
+					if !havePending {
+						o := next(inOuter, name)
+						if !o.IsVal() {
+							fail("%s: expected outer coordinate, got %v", name, o)
+						}
+						pending = o
+					}
+					outOuter <- pending
+					havePending = false
+					emitted = true
+				}
+				outInner <- t
+				everEmitted = true
+			case token.Stop:
+				m := t.StopLevel()
+				if !emitted && !havePending {
+					o := next(inOuter, name)
+					switch {
+					case o.IsVal():
+						// dropped coordinate; for m >= 1 the outer stop
+						// still follows
+						if m >= 1 {
+							os := next(inOuter, name)
+							if !os.IsStop() || os.StopLevel() != m-1 {
+								fail("%s: outer misaligned %v vs inner %v", name, os, t)
+							}
+							outOuter <- token.S(m - 1)
+						}
+					case o.IsStop() && m >= 1 && o.StopLevel() == m-1:
+						outOuter <- token.S(m - 1)
+					default:
+						fail("%s: outer misaligned %v vs inner stop %v", name, o, t)
+					}
+				} else {
+					if havePending {
+						havePending = false // dropped coordinate
+					}
+					if m >= 1 {
+						os := next(inOuter, name)
+						if !os.IsStop() || os.StopLevel() != m-1 {
+							fail("%s: outer misaligned %v vs inner %v", name, os, t)
+						}
+						outOuter <- token.S(m - 1)
+					}
+				}
+				if m > held {
+					held = m
+				}
+				emitted = false
+				havePending = false
+			case token.Done:
+				flushHeld()
+				if o := next(inOuter, name); !o.IsDone() {
+					fail("%s: outer stream not done: %v", name, o)
+				}
+				outOuter <- token.D()
+				outInner <- token.D()
+				return
+			}
+		}
+	})
+	return outOuter, outInner
+}
+
+// DropVal is the coordinate dropper in value mode with orphan-zero handling.
+func (r *Runner) DropVal(name string, inOuter, inVal Stream) (Stream, Stream) {
+	outOuter := make(chan token.Tok, chanBuf)
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outOuter)
+		defer close(outVal)
+		c := next(inOuter, name)
+		for {
+			v := next(inVal, name)
+			switch {
+			case c.IsVal() && (v.IsVal() || v.IsEmpty()):
+				if v.IsVal() && v.V != 0 {
+					outOuter <- c
+					outVal <- v
+				}
+				c = next(inOuter, name)
+			case c.IsStop() && (v.IsVal() || v.IsEmpty()):
+				if v.IsVal() && v.V != 0 {
+					fail("%s: nonzero orphan value %v", name, v)
+				}
+				// discard the orphan zero; keep the stop pending
+			case c.IsStop() && v.IsStop() && c.StopLevel() == v.StopLevel():
+				outOuter <- c
+				outVal <- v
+				c = next(inOuter, name)
+			case c.IsDone() && v.IsDone():
+				outOuter <- token.D()
+				outVal <- token.D()
+				return
+			default:
+				fail("%s: misaligned %v vs %v", name, c, v)
+			}
+		}
+	})
+	return outOuter, outVal
+}
+
+// Locate is the iterate-locate block (Definition 4.1) following a driver
+// coordinate stream into one tensor level.
+func (r *Runner) Locate(name string, lvl interface {
+	Locate(f int, c int64) (int64, bool)
+}, inCrd, inRef, inFiber Stream) (Stream, Stream, Stream) {
+	outCrd := make(chan token.Tok, chanBuf)
+	outRef := make(chan token.Tok, chanBuf)
+	outLoc := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outCrd)
+		defer close(outRef)
+		defer close(outLoc)
+		var cur token.Tok
+		have := false
+		for t := range inCrd {
+			switch t.Kind {
+			case token.Val:
+				rt := next(inRef, name)
+				if !have {
+					cur = next(inFiber, name)
+					if !cur.IsVal() && !cur.IsEmpty() {
+						fail("%s: expected fiber-select reference, got %v", name, cur)
+					}
+					have = true
+				}
+				if cur.IsEmpty() {
+					continue
+				}
+				loc, found := lvl.Locate(int(cur.N), t.N)
+				if !found {
+					continue
+				}
+				outCrd <- t
+				outRef <- rt
+				outLoc <- token.C(loc)
+			case token.Stop:
+				m := t.StopLevel()
+				rs := next(inRef, name)
+				if !rs.IsStop() || rs.StopLevel() != m {
+					fail("%s: ref misaligned at stop %v: %v", name, t, rs)
+				}
+				if !have {
+					ft := next(inFiber, name)
+					switch {
+					case ft.IsVal() || ft.IsEmpty():
+						if m >= 1 {
+							fs := next(inFiber, name)
+							if !fs.IsStop() || fs.StopLevel() != m-1 {
+								fail("%s: fiber-select misaligned %v", name, fs)
+							}
+						}
+					case ft.IsStop() && m >= 1 && ft.StopLevel() == m-1:
+					default:
+						fail("%s: fiber-select misaligned %v at stop %v", name, ft, t)
+					}
+				} else if m >= 1 {
+					fs := next(inFiber, name)
+					if !fs.IsStop() || fs.StopLevel() != m-1 {
+						fail("%s: fiber-select misaligned %v", name, fs)
+					}
+				}
+				have = false
+				outCrd <- t
+				outRef <- t
+				outLoc <- t
+			case token.Done:
+				if d := next(inRef, name); !d.IsDone() {
+					fail("%s: ref stream not done", name)
+				}
+				if d := next(inFiber, name); !d.IsDone() {
+					fail("%s: fiber-select stream not done", name)
+				}
+				outCrd <- token.D()
+				outRef <- token.D()
+				outLoc <- token.D()
+				return
+			}
+		}
+	})
+	return outCrd, outRef, outLoc
+}

@@ -1,0 +1,356 @@
+package flow
+
+import (
+	"fmt"
+
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+	"sam/internal/token"
+)
+
+// Run executes a compiled SAM graph as a concurrent goroutine pipeline and
+// assembles the output tensor. It supports the core block set (scanners,
+// repeaters, intersecters, unioners, locators, arrays, ALUs, reducers,
+// droppers, writers); graphs using gallop or bitvector blocks run on the
+// cycle engine instead.
+func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
+	r := &Runner{}
+	bound := map[string]*fiber.Tensor{}
+	for _, bd := range g.Bindings {
+		src, ok := inputs[bd.Source]
+		if !ok {
+			return nil, fmt.Errorf("flow: no input bound for tensor %q", bd.Source)
+		}
+		perm, err := src.Permute(bd.Operand, bd.ModeOrder)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := perm.Build(bd.Formats...)
+		if err != nil {
+			return nil, err
+		}
+		bound[bd.Operand] = ft
+	}
+	dims := make([]int, 0, len(g.OutputDims))
+	for _, d := range g.OutputDims {
+		src, ok := inputs[d.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("flow: output dimension references unbound tensor %q", d.Tensor)
+		}
+		dims = append(dims, src.Dims[d.Mode])
+	}
+
+	// Wire edges: outputs may fan out; every input port gets one stream.
+	type portKey struct {
+		node int
+		port string
+	}
+	consumers := map[portKey][]portKey{}
+	for _, e := range g.Edges {
+		k := portKey{e.From, e.FromPort}
+		consumers[k] = append(consumers[k], portKey{e.To, e.ToPort})
+	}
+	inStreams := map[portKey]Stream{}
+	deliver := func(n *graph.Node, port string, s Stream) {
+		outs := consumers[portKey{n.ID, port}]
+		if len(outs) == 0 {
+			// Dangling diagnostic port: drain it.
+			r.Go(func() {
+				for range s {
+				}
+			})
+			return
+		}
+		fans := r.Fanout(r.Elastic(s), len(outs))
+		for i, c := range outs {
+			inStreams[c] = fans[i]
+		}
+	}
+	in := func(n *graph.Node, port string) (Stream, error) {
+		s, ok := inStreams[portKey{n.ID, port}]
+		if !ok {
+			return nil, fmt.Errorf("flow: node %q input %q unconnected", n.Label, port)
+		}
+		return s, nil
+	}
+
+	// Instantiate in topological order (graphs are emitted topologically by
+	// Custard, but sort defensively).
+	order, err := topoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	writerCrd := map[int]token.Stream{}
+	var writerVals []float64
+	collect := map[int]*graph.Node{}
+
+	for _, n := range order {
+		switch n.Kind {
+		case graph.Root:
+			deliver(n, "ref", r.Root())
+		case graph.Scanner:
+			t := bound[n.Tensor]
+			inS, err := in(n, "ref")
+			if err != nil {
+				return nil, err
+			}
+			crd, ref := r.Scanner(n.Label, t.Levels[n.Level], inS)
+			deliver(n, "crd", crd)
+			deliver(n, "ref", ref)
+		case graph.Repeat:
+			crd, err := in(n, "crd")
+			if err != nil {
+				return nil, err
+			}
+			ref, err := in(n, "ref")
+			if err != nil {
+				return nil, err
+			}
+			deliver(n, "ref", r.Repeater(n.Label, crd, ref))
+		case graph.Intersect, graph.Union:
+			crds := make([]Stream, n.Ways)
+			refs := make([]Stream, n.Ways)
+			for i := 0; i < n.Ways; i++ {
+				if crds[i], err = in(n, fmt.Sprintf("crd%d", i)); err != nil {
+					return nil, err
+				}
+				if refs[i], err = in(n, fmt.Sprintf("ref%d", i)); err != nil {
+					return nil, err
+				}
+			}
+			var crd Stream
+			var refOut []Stream
+			if n.Kind == graph.Intersect {
+				crd, refOut = r.Intersect(n.Label, crds, refs)
+			} else {
+				crd, refOut = r.Union(n.Label, crds, refs)
+			}
+			deliver(n, "crd", crd)
+			for i, s := range refOut {
+				deliver(n, fmt.Sprintf("ref%d", i), s)
+			}
+		case graph.Locate:
+			t := bound[n.Tensor]
+			crd, err := in(n, "crd")
+			if err != nil {
+				return nil, err
+			}
+			ref, err := in(n, "ref")
+			if err != nil {
+				return nil, err
+			}
+			fib, err := in(n, "fiber")
+			if err != nil {
+				return nil, err
+			}
+			oc, orf, ol := r.Locate(n.Label, t.Levels[n.Level], crd, ref, fib)
+			deliver(n, "crd", oc)
+			deliver(n, "ref", orf)
+			deliver(n, "loc", ol)
+		case graph.Array:
+			t := bound[n.Tensor]
+			inS, err := in(n, "ref")
+			if err != nil {
+				return nil, err
+			}
+			deliver(n, "val", r.ArrayLoad(n.Label, t.Vals, inS))
+		case graph.ALU:
+			a, err := in(n, "a")
+			if err != nil {
+				return nil, err
+			}
+			b, err := in(n, "b")
+			if err != nil {
+				return nil, err
+			}
+			op := n.Op
+			deliver(n, "val", r.ALU(n.Label, func(x, y float64) float64 {
+				switch op {
+				case lang.Mul:
+					return x * y
+				case lang.Add:
+					return x + y
+				default:
+					return x - y
+				}
+			}, a, b))
+		case graph.Reduce:
+			switch n.RedN {
+			case 0:
+				v, err := in(n, "val")
+				if err != nil {
+					return nil, err
+				}
+				deliver(n, "val", r.ScalarReduce(n.Label, v))
+			case 1:
+				c, err := in(n, "crd")
+				if err != nil {
+					return nil, err
+				}
+				v, err := in(n, "val")
+				if err != nil {
+					return nil, err
+				}
+				oc, ov := r.VectorReduce(n.Label, c, v)
+				deliver(n, "crd", oc)
+				deliver(n, "val", ov)
+			case 2:
+				c0, err := in(n, "crd0")
+				if err != nil {
+					return nil, err
+				}
+				c1, err := in(n, "crd1")
+				if err != nil {
+					return nil, err
+				}
+				v, err := in(n, "val")
+				if err != nil {
+					return nil, err
+				}
+				oo, oi, ov := r.MatrixReduce(n.Label, c0, c1, v)
+				deliver(n, "crd0", oo)
+				deliver(n, "crd1", oi)
+				deliver(n, "val", ov)
+			default:
+				return nil, fmt.Errorf("flow: reducer n=%d unsupported", n.RedN)
+			}
+		case graph.CrdDrop:
+			outer, err := in(n, "outer")
+			if err != nil {
+				return nil, err
+			}
+			if n.DropVal {
+				v, err := in(n, "val")
+				if err != nil {
+					return nil, err
+				}
+				oo, ov := r.DropVal(n.Label, outer, v)
+				deliver(n, "outer", oo)
+				deliver(n, "val", ov)
+			} else {
+				inner, err := in(n, "inner")
+				if err != nil {
+					return nil, err
+				}
+				oo, oi := r.DropCrd(n.Label, outer, inner)
+				deliver(n, "outer", oo)
+				deliver(n, "inner", oi)
+			}
+		case graph.CrdWriter, graph.ValsWriter:
+			collect[n.ID] = n
+		default:
+			return nil, fmt.Errorf("flow: block kind %v not supported by the goroutine executor", n.Kind)
+		}
+	}
+
+	// Writers collect synchronously on this goroutine after launch.
+	type done struct {
+		id  int
+		rec token.Stream
+	}
+	results := make(chan done, len(collect))
+	for id, n := range collect {
+		port := "crd"
+		if n.Kind == graph.ValsWriter {
+			port = "val"
+		}
+		s, err := in(n, port)
+		if err != nil {
+			return nil, err
+		}
+		id := id
+		r.Go(func() { results <- done{id, Collect(s)} })
+	}
+	recs := map[int]token.Stream{}
+	for range collect {
+		d := <-results
+		recs[d.id] = d.rec
+	}
+	if err := r.Wait(); err != nil {
+		return nil, err
+	}
+	for id, n := range collect {
+		if n.Kind == graph.ValsWriter {
+			for _, t := range recs[id] {
+				if t.IsVal() {
+					writerVals = append(writerVals, t.V)
+				} else if t.IsEmpty() {
+					writerVals = append(writerVals, 0)
+				}
+			}
+		} else {
+			writerCrd[n.OutLevel] = recs[id]
+		}
+	}
+
+	// Assemble exactly like the cycle engine.
+	ft := &fiber.Tensor{Name: g.OutputTensor, Dims: dims, Vals: writerVals}
+	for lvl := 0; lvl < len(g.OutputVars); lvl++ {
+		rec, ok := writerCrd[lvl]
+		if !ok {
+			return nil, fmt.Errorf("flow: no writer stream for output level %d", lvl)
+		}
+		seg := []int32{0}
+		var crd []int32
+		for _, t := range rec {
+			switch t.Kind {
+			case token.Val:
+				crd = append(crd, int32(t.N))
+			case token.Stop:
+				seg = append(seg, int32(len(crd)))
+			}
+		}
+		if len(crd) == 0 && lvl > 0 {
+			// Empty-result artifact: no parent coordinates, so no fibers.
+			seg = []int32{0}
+		}
+		ft.Levels = append(ft.Levels, &fiber.CompressedLevel{N: dims[lvl], Seg: seg, Crd: crd})
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: assembled output invalid: %w", err)
+	}
+	out := tensor.FromFiber(ft)
+	perm := make([]int, len(g.LHSVars))
+	for i, v := range g.LHSVars {
+		for j, u := range g.OutputVars {
+			if u == v {
+				perm[i] = j
+			}
+		}
+	}
+	return out.Permute(g.OutputTensor, perm)
+}
+
+// topoOrder sorts nodes so producers precede consumers.
+func topoOrder(g *graph.Graph) ([]*graph.Node, error) {
+	indeg := make([]int, len(g.Nodes))
+	succ := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var out []*graph.Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, g.Nodes[n])
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(g.Nodes) {
+		return nil, fmt.Errorf("flow: graph has a cycle")
+	}
+	return out, nil
+}

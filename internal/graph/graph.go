@@ -1,0 +1,361 @@
+// Package graph defines the SAM dataflow graph intermediate representation:
+// the typed blocks and streams that Custard compiles tensor index notation
+// into, and that the simulator executes. Graphs can be validated
+// structurally and exported to Graphviz DOT (the representation the paper's
+// artifact stores SAM graphs in).
+package graph
+
+import (
+	"fmt"
+
+	"sam/internal/fiber"
+	"sam/internal/lang"
+)
+
+// Kind enumerates SAM block types (paper Sections 3 and 4).
+type Kind int
+
+// Block kinds.
+const (
+	Root Kind = iota
+	Scanner
+	BVScanner
+	Repeat
+	Intersect
+	GallopIntersect
+	Union
+	Locate
+	Array
+	ALU
+	Reduce
+	CrdDrop
+	CrdWriter
+	ValsWriter
+	BVIntersect
+	VecLoad
+	VecALU
+	BVExpand
+	BVConvert
+	BVWriter
+	VecValsWriter
+	Parallelize
+	Serialize
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Root:
+		return "root"
+	case Scanner:
+		return "scanner"
+	case BVScanner:
+		return "bvscanner"
+	case Repeat:
+		return "repeat"
+	case Intersect:
+		return "intersect"
+	case GallopIntersect:
+		return "gallop"
+	case Union:
+		return "union"
+	case Locate:
+		return "locate"
+	case Array:
+		return "array"
+	case ALU:
+		return "alu"
+	case Reduce:
+		return "reduce"
+	case CrdDrop:
+		return "crddrop"
+	case CrdWriter:
+		return "crdwriter"
+	case ValsWriter:
+		return "valswriter"
+	case BVIntersect:
+		return "bvintersect"
+	case VecLoad:
+		return "vecload"
+	case VecALU:
+		return "vecalu"
+	case BVExpand:
+		return "bvexpand"
+	case BVConvert:
+		return "bvconvert"
+	case BVWriter:
+		return "bvwriter"
+	case VecValsWriter:
+		return "vecvalswriter"
+	case Parallelize:
+		return "parallelize"
+	case Serialize:
+		return "serialize"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Node is one SAM block instance.
+type Node struct {
+	ID    int
+	Kind  Kind
+	Label string
+
+	// Tensor binding for scanners, arrays, locators, writers; the gallop
+	// intersecter binds a second tensor/level pair.
+	Tensor  string
+	Level   int
+	TensorB string
+	LevelB  int
+
+	// Format of the scanned or written level.
+	Format fiber.Format
+
+	// Ways is the arity of intersecters/unioners and the lane count of
+	// parallelizers/serializers.
+	Ways int
+
+	// Op is the ALU operation.
+	Op lang.Op
+
+	// RedN is the reducer dimension n (0 scalar, 1 vector, 2 matrix).
+	RedN int
+
+	// DropVal selects the value mode of a coordinate dropper.
+	DropVal bool
+
+	// OutLevel is the output level index a writer materializes.
+	OutLevel int
+}
+
+// Edge is one stream wire between two block ports.
+type Edge struct {
+	From     int
+	FromPort string
+	To       int
+	ToPort   string
+}
+
+// DimRef names an input tensor mode whose size defines an output dimension.
+type DimRef struct {
+	Tensor string
+	Mode   int
+}
+
+// Binding maps one operand (a tensor access occurrence, the unit scanners
+// and arrays are wired to) to its source tensor, the mode order its levels
+// are stored in (level d holds source mode ModeOrder[d]), and its per-level
+// storage formats.
+type Binding struct {
+	Operand   string
+	Source    string
+	ModeOrder []int
+	Formats   []fiber.Format
+}
+
+// Graph is a complete SAM dataflow graph plus the output-tensor metadata the
+// simulator needs to assemble the result.
+type Graph struct {
+	Name  string
+	Expr  string
+	Nodes []*Node
+	Edges []*Edge
+
+	Bindings []Binding
+
+	// Output metadata: the result tensor's name, level formats and level
+	// dimensions (in the loop order the graph produces them), the output
+	// variables in that order, and the left-hand-side variable order the
+	// user declared.
+	OutputTensor  string
+	OutputFormats []fiber.Format
+	OutputDims    []DimRef
+	OutputVars    []string
+	LHSVars       []string
+}
+
+// AddNode appends a node, assigning its ID.
+func (g *Graph) AddNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// Connect adds an edge between two ports.
+func (g *Graph) Connect(from *Node, fromPort string, to *Node, toPort string) {
+	g.Edges = append(g.Edges, &Edge{From: from.ID, FromPort: fromPort, To: to.ID, ToPort: toPort})
+}
+
+// Count returns the number of nodes of the given kind.
+func (g *Graph) Count(k Kind) int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// InPorts lists the input port names required by a node.
+func InPorts(n *Node) []string {
+	switch n.Kind {
+	case Root:
+		return nil
+	case Scanner, BVScanner:
+		return []string{"ref"}
+	case Repeat:
+		return []string{"crd", "ref"}
+	case Intersect, Union:
+		ps := make([]string, 0, 2*n.Ways)
+		for i := 0; i < n.Ways; i++ {
+			ps = append(ps, fmt.Sprintf("crd%d", i), fmt.Sprintf("ref%d", i))
+		}
+		return ps
+	case GallopIntersect:
+		return []string{"ref0", "ref1"}
+	case Locate:
+		return []string{"crd", "ref", "fiber"}
+	case Array:
+		return []string{"ref"}
+	case ALU, VecALU:
+		return []string{"a", "b"}
+	case Reduce:
+		return reducePorts(n)
+	case CrdDrop:
+		if n.DropVal {
+			return []string{"outer", "val"}
+		}
+		return []string{"outer", "inner"}
+	case CrdWriter:
+		return []string{"crd"}
+	case ValsWriter:
+		return []string{"val"}
+	case BVIntersect:
+		return []string{"bv0", "ref0", "bv1", "ref1"}
+	case VecLoad, BVExpand:
+		return []string{"bv", "mask", "base"}
+	case BVConvert:
+		return []string{"crd"}
+	case BVWriter:
+		return []string{"bv"}
+	case VecValsWriter:
+		return []string{"bv", "val"}
+	case Parallelize:
+		return []string{"in"}
+	case Serialize:
+		ps := make([]string, n.Ways)
+		for i := range ps {
+			ps[i] = fmt.Sprintf("in%d", i)
+		}
+		return ps
+	}
+	return nil
+}
+
+// OutPorts lists the output port names produced by a node.
+func OutPorts(n *Node) []string {
+	switch n.Kind {
+	case Root:
+		return []string{"ref"}
+	case Scanner:
+		return []string{"crd", "ref"}
+	case BVScanner:
+		return []string{"bv", "ref"}
+	case Repeat:
+		return []string{"ref"}
+	case Intersect, Union:
+		ps := []string{"crd"}
+		for i := 0; i < n.Ways; i++ {
+			ps = append(ps, fmt.Sprintf("ref%d", i))
+		}
+		return ps
+	case GallopIntersect:
+		return []string{"crd", "ref0", "ref1"}
+	case Locate:
+		return []string{"crd", "ref", "loc"}
+	case Array, ALU, VecALU, VecLoad:
+		return []string{"val"}
+	case Reduce:
+		return reducePorts(n)
+	case CrdDrop:
+		if n.DropVal {
+			return []string{"outer", "val"}
+		}
+		return []string{"outer", "inner"}
+	case BVIntersect:
+		return []string{"bv", "mask0", "base0", "mask1", "base1"}
+	case BVExpand:
+		return []string{"ref"}
+	case BVConvert:
+		return []string{"bv"}
+	case Parallelize:
+		ps := make([]string, n.Ways)
+		for i := range ps {
+			ps[i] = fmt.Sprintf("out%d", i)
+		}
+		return ps
+	case Serialize:
+		return []string{"out"}
+	}
+	return nil
+}
+
+// Validate checks structural well-formedness: every required input port has
+// exactly one incoming edge, every edge references existing nodes and legal
+// ports, and every output port of a non-sink node drives at least one input.
+func (g *Graph) Validate() error {
+	type portKey struct {
+		node int
+		port string
+	}
+	inCount := map[portKey]int{}
+	outUsed := map[portKey]bool{}
+	for _, e := range g.Edges {
+		if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+			return fmt.Errorf("graph: edge references missing node: %+v", e)
+		}
+		from, to := g.Nodes[e.From], g.Nodes[e.To]
+		if !contains(OutPorts(from), e.FromPort) {
+			return fmt.Errorf("graph: node %d (%s) has no output port %q", from.ID, from.Label, e.FromPort)
+		}
+		if !contains(InPorts(to), e.ToPort) {
+			return fmt.Errorf("graph: node %d (%s) has no input port %q", to.ID, to.Label, e.ToPort)
+		}
+		inCount[portKey{e.To, e.ToPort}]++
+		outUsed[portKey{e.From, e.FromPort}] = true
+	}
+	for _, n := range g.Nodes {
+		for _, p := range InPorts(n) {
+			c := inCount[portKey{n.ID, p}]
+			if c != 1 {
+				return fmt.Errorf("graph: node %d (%s) input port %q has %d drivers, want 1", n.ID, n.Label, p, c)
+			}
+		}
+	}
+	return nil
+}
+
+// reducePorts lists a reducer's ports: n coordinate streams plus values.
+func reducePorts(n *Node) []string {
+	switch n.RedN {
+	case 0:
+		return []string{"val"}
+	case 1:
+		return []string{"crd", "val"}
+	default:
+		ps := make([]string, 0, n.RedN+1)
+		for i := 0; i < n.RedN; i++ {
+			ps = append(ps, fmt.Sprintf("crd%d", i))
+		}
+		return append(ps, "val")
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

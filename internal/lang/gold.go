@@ -1,0 +1,218 @@
+package lang
+
+import (
+	"fmt"
+
+	"sam/internal/tensor"
+)
+
+// Gold evaluates a tensor index notation statement directly on dense data,
+// independent of the SAM machinery. Every simulator experiment checks its
+// result against this reference. Inputs are COO tensors (order-0 tensors are
+// scalar operands); the result is a sorted COO tensor with zeros dropped.
+//
+// Reduction variables are summed over the smallest expression subtree
+// containing all of their uses (standard tensor index notation semantics, as
+// in TACO): in x(i) = b(i) - C(i,j)*d(j), the sum over j applies to C*d
+// only, not to b.
+func Gold(e *Einsum, inputs map[string]*tensor.COO) (*tensor.COO, error) {
+	dims, err := InferDims(e, inputs)
+	if err != nil {
+		return nil, err
+	}
+	dense := map[string]*tensor.Dense{}
+	for name, c := range inputs {
+		dense[name] = c.ToDense()
+	}
+
+	tree := goldAnnotate(e)
+	outVars := e.OutputVars()
+	outDims := make([]int, len(outVars))
+	for i, v := range outVars {
+		outDims[i] = dims[v]
+	}
+	result := tensor.NewDense(outDims...)
+	env := map[string]int64{}
+
+	var eval func(n goldNode) float64
+	eval = func(n goldNode) float64 {
+		switch x := n.(type) {
+		case *goldLeaf:
+			d, ok := dense[x.a.Tensor]
+			if !ok {
+				return 0
+			}
+			crd := make([]int64, len(x.a.Idx))
+			for i, v := range x.a.Idx {
+				crd[i] = env[v]
+			}
+			return d.At(crd...)
+		case *goldBin:
+			l, r := eval(x.l), eval(x.r)
+			switch x.op {
+			case Mul:
+				return l * r
+			case Add:
+				return l + r
+			case Sub:
+				return l - r
+			}
+		case *goldRed:
+			sum := 0.0
+			for i := 0; i < dims[x.v]; i++ {
+				env[x.v] = int64(i)
+				sum += eval(x.child)
+			}
+			return sum
+		}
+		return 0
+	}
+
+	outCrd := make([]int64, len(outVars))
+	var loop func(depth int)
+	loop = func(depth int) {
+		if depth == len(outVars) {
+			copyEnv(outCrd, outVars, env)
+			result.Add(eval(tree), outCrd...)
+			return
+		}
+		v := outVars[depth]
+		for i := 0; i < dims[v]; i++ {
+			env[v] = int64(i)
+			loop(depth + 1)
+		}
+	}
+	if len(outVars) == 0 {
+		result.Add(eval(tree))
+	} else {
+		loop(0)
+	}
+	return result.ToCOO(e.LHS.Tensor), nil
+}
+
+func copyEnv(dst []int64, vars []string, env map[string]int64) {
+	for i, v := range vars {
+		dst[i] = env[v]
+	}
+}
+
+// goldNode mirrors the expression tree with explicit reduction scopes.
+type goldNode interface{}
+
+type goldLeaf struct{ a *Access }
+
+type goldBin struct {
+	op   Op
+	l, r goldNode
+}
+
+type goldRed struct {
+	v     string
+	child goldNode
+}
+
+// goldAnnotate wraps each reduction variable around the smallest subtree
+// containing all of its uses.
+func goldAnnotate(e *Einsum) goldNode {
+	var build func(x Expr) goldNode
+	build = func(x Expr) goldNode {
+		switch n := x.(type) {
+		case *Access:
+			return &goldLeaf{a: n}
+		case *Binary:
+			return &goldBin{op: n.Op, l: build(n.L), r: build(n.R)}
+		}
+		return nil
+	}
+	t := build(e.RHS)
+	for _, v := range e.ReductionVars() {
+		t = goldWrap(t, v)
+	}
+	return t
+}
+
+func goldUses(n goldNode, v string) bool {
+	switch x := n.(type) {
+	case *goldLeaf:
+		for _, u := range x.a.Idx {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	case *goldBin:
+		return goldUses(x.l, v) || goldUses(x.r, v)
+	case *goldRed:
+		return goldUses(x.child, v)
+	}
+	return false
+}
+
+func goldWrap(t goldNode, v string) goldNode {
+	var wrap func(n goldNode) (goldNode, bool)
+	wrap = func(n goldNode) (goldNode, bool) {
+		switch x := n.(type) {
+		case *goldBin:
+			lUses, rUses := goldUses(x.l, v), goldUses(x.r, v)
+			if lUses && rUses {
+				return &goldRed{v: v, child: n}, true
+			}
+			if lUses {
+				c, ok := wrap(x.l)
+				x.l = c
+				return n, ok
+			}
+			if rUses {
+				c, ok := wrap(x.r)
+				x.r = c
+				return n, ok
+			}
+			return n, false
+		case *goldRed:
+			c, ok := wrap(x.child)
+			x.child = c
+			return n, ok
+		case *goldLeaf:
+			if goldUses(n, v) {
+				return &goldRed{v: v, child: n}, true
+			}
+			return n, false
+		}
+		return n, false
+	}
+	out, ok := wrap(t)
+	if !ok {
+		return t
+	}
+	return out
+}
+
+// InferDims derives the domain of every index variable from the shapes of
+// the bound input tensors, checking consistency across accesses.
+func InferDims(e *Einsum, inputs map[string]*tensor.COO) (map[string]int, error) {
+	dims := map[string]int{}
+	for _, a := range e.Accesses() {
+		in, ok := inputs[a.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("lang: no input bound for tensor %q in %s", a.Tensor, e)
+		}
+		if in.Order() != len(a.Idx) {
+			return nil, fmt.Errorf("lang: tensor %q is order %d but accessed as %s", a.Tensor, in.Order(), a)
+		}
+		for m, v := range a.Idx {
+			if d, ok := dims[v]; ok {
+				if d != in.Dims[m] {
+					return nil, fmt.Errorf("lang: variable %q has conflicting dimensions %d and %d", v, d, in.Dims[m])
+				}
+			} else {
+				dims[v] = in.Dims[m]
+			}
+		}
+	}
+	for _, v := range e.LHS.Idx {
+		if _, ok := dims[v]; !ok {
+			return nil, fmt.Errorf("lang: cannot infer dimension of output variable %q", v)
+		}
+	}
+	return dims, nil
+}

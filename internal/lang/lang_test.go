@@ -1,0 +1,223 @@
+package lang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+func TestParseBasics(t *testing.T) {
+	e, err := Parse("X(i,j) = B(i,k) * C(k,j)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LHS.Tensor; got != "X" {
+		t.Errorf("LHS tensor = %q", got)
+	}
+	if got := e.ReductionVars(); len(got) != 1 || got[0] != "k" {
+		t.Errorf("reduction vars = %v, want [k]", got)
+	}
+	if got := e.AllVars(); strings.Join(got, "") != "ijk" {
+		t.Errorf("all vars = %v", got)
+	}
+	if got := len(e.Accesses()); got != 2 {
+		t.Errorf("accesses = %d", got)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e := MustParse("x(i) = a(i) + b(i) * c(i) - d(i)")
+	// ((a + (b*c)) - d)
+	top, ok := e.RHS.(*Binary)
+	if !ok || top.Op != Sub {
+		t.Fatalf("top = %v", e.RHS)
+	}
+	left, ok := top.L.(*Binary)
+	if !ok || left.Op != Add {
+		t.Fatalf("left = %v", top.L)
+	}
+	mul, ok := left.R.(*Binary)
+	if !ok || mul.Op != Mul {
+		t.Fatalf("add right = %v", left.R)
+	}
+}
+
+func TestParseParentheses(t *testing.T) {
+	e := MustParse("x(i) = (a(i) + b(i)) * c(i)")
+	top, ok := e.RHS.(*Binary)
+	if !ok || top.Op != Mul {
+		t.Fatalf("top = %v", e.RHS)
+	}
+	if add, ok := top.L.(*Binary); !ok || add.Op != Add {
+		t.Fatalf("left = %v", top.L)
+	}
+}
+
+func TestParseTransposeDesugars(t *testing.T) {
+	e := MustParse("x(i) = B^T(i,j) * c(j)")
+	a := e.Accesses()[0]
+	if a.Tensor != "B" || a.Idx[0] != "j" || a.Idx[1] != "i" {
+		t.Errorf("B^T(i,j) desugared to %v", a)
+	}
+}
+
+func TestParseScalars(t *testing.T) {
+	e := MustParse("x(i) = alpha * b(i)")
+	a := e.Accesses()[0]
+	if a.Tensor != "alpha" || len(a.Idx) != 0 {
+		t.Errorf("scalar access = %v", a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"X(i,j)",
+		"X(i,j) = ",
+		"X(i,j) = B(i,j) +",
+		"X(i,i) = B(i,j)", // repeated var in access
+		"X(i,j) = B(i,k)", // j not on RHS
+		"X(i,j) = B(i,j) trailing",
+		"x(i) = B^T(i,j,k) * c(j)", // transpose needs a matrix
+		"X(i,j) = (B(i,j)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestScheduleNormalization(t *testing.T) {
+	e := MustParse("X(i,j) = B(i,k) * C(k,j)")
+	if _, err := (Schedule{LoopOrder: []string{"i", "k"}}).NormalizeLoopOrder(e); err == nil {
+		t.Error("incomplete loop order accepted")
+	}
+	if _, err := (Schedule{LoopOrder: []string{"i", "k", "z"}}).NormalizeLoopOrder(e); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if _, err := (Schedule{LoopOrder: []string{"i", "i", "k"}}).NormalizeLoopOrder(e); err == nil {
+		t.Error("repeated variable accepted")
+	}
+	got, err := (Schedule{}).NormalizeLoopOrder(e)
+	if err != nil || strings.Join(got, "") != "ijk" {
+		t.Errorf("default order = %v, %v", got, err)
+	}
+}
+
+// TestGoldReductionScoping pins the reduction-scope semantics: in
+// x(i) = b(i) - C(i,j)*d(j) the sum over j must not multiply b by the
+// dimension of j.
+func TestGoldReductionScoping(t *testing.T) {
+	b := tensor.NewCOO("b", 2)
+	b.Append(10, 0)
+	b.Append(20, 1)
+	C := tensor.NewCOO("C", 2, 3)
+	C.Append(1, 0, 0)
+	C.Append(1, 0, 2)
+	d := tensor.NewCOO("d", 3)
+	d.Append(5, 0)
+	d.Append(7, 2)
+	e := MustParse("x(i) = b(i) - C(i,j) * d(j)")
+	got, err := Gold(e, map[string]*tensor.COO{"b": b, "C": C, "d": d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x(0) = 10 - (5+7) = -2; x(1) = 20.
+	want := tensor.NewCOO("x", 2)
+	want.Append(-2, 0)
+	want.Append(20, 1)
+	if err := tensor.Equal(got, want, 1e-12); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldScalarOutput checks order-0 results.
+func TestGoldScalarOutput(t *testing.T) {
+	b := tensor.NewCOO("b", 3)
+	b.Append(2, 0)
+	b.Append(3, 2)
+	c := tensor.NewCOO("c", 3)
+	c.Append(4, 0)
+	c.Append(5, 2)
+	got, err := Gold(MustParse("x = b(i) * c(i)"), map[string]*tensor.COO{"b": b, "c": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 1 || got.Pts[0].Val != 23 {
+		t.Errorf("dot product = %+v, want 23", got.Pts)
+	}
+}
+
+func TestInferDimsErrors(t *testing.T) {
+	e := MustParse("x(i) = B(i,j) * c(j)")
+	b := tensor.NewCOO("B", 4, 5)
+	cGood := tensor.NewCOO("c", 5)
+	cBad := tensor.NewCOO("c", 6)
+	if _, err := InferDims(e, map[string]*tensor.COO{"B": b, "c": cGood}); err != nil {
+		t.Errorf("consistent dims rejected: %v", err)
+	}
+	if _, err := InferDims(e, map[string]*tensor.COO{"B": b, "c": cBad}); err == nil {
+		t.Error("conflicting dims accepted")
+	}
+	if _, err := InferDims(e, map[string]*tensor.COO{"B": b}); err == nil {
+		t.Error("missing input accepted")
+	}
+	wrongOrder := tensor.NewCOO("B", 4)
+	if _, err := InferDims(e, map[string]*tensor.COO{"B": wrongOrder, "c": cGood}); err == nil {
+		t.Error("order mismatch accepted")
+	}
+}
+
+// TestGoldMatchesHandComputedMatmul cross-checks the reference evaluator
+// itself on a tiny hand-computed case.
+func TestGoldMatchesHandComputedMatmul(t *testing.T) {
+	B := tensor.NewCOO("B", 2, 2)
+	B.Append(1, 0, 0)
+	B.Append(2, 0, 1)
+	B.Append(3, 1, 1)
+	C := tensor.NewCOO("C", 2, 2)
+	C.Append(4, 0, 0)
+	C.Append(5, 1, 0)
+	C.Append(6, 1, 1)
+	got, err := Gold(MustParse("X(i,j) = B(i,k) * C(k,j)"), map[string]*tensor.COO{"B": B, "C": C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.NewCOO("X", 2, 2)
+	want.Append(1*4+2*5, 0, 0)
+	want.Append(2*6, 0, 1)
+	want.Append(3*5, 1, 0)
+	want.Append(3*6, 1, 1)
+	if err := tensor.Equal(got, want, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGoldRandomAgainstNaive fuzzes gold against a fully naive evaluator
+// for a pure product (where global and scoped reduction semantics agree).
+func TestGoldRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		B := tensor.UniformRandom("B", rng, 20, 6, 5)
+		C := tensor.UniformRandom("C", rng, 20, 5, 7)
+		e := MustParse("X(i,j) = B(i,k) * C(k,j)")
+		got, err := Gold(e, map[string]*tensor.COO{"B": B, "C": C})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, dc := B.ToDense(), C.ToDense()
+		want := tensor.NewDense(6, 7)
+		for i := int64(0); i < 6; i++ {
+			for j := int64(0); j < 7; j++ {
+				for k := int64(0); k < 5; k++ {
+					want.Add(db.At(i, k)*dc.At(k, j), i, j)
+				}
+			}
+		}
+		if err := tensor.Equal(got, want.ToCOO("X"), 1e-12); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads one tensor index notation statement, e.g.
+//
+//	X(i,j) = B(i,k) * C(k,j)
+//	x(i) = b(i) - C(i,j) * d(j)
+//	x(i) = alpha * B^T(i,j) * c(j) + beta * d(i)
+//
+// Multiplication, addition and subtraction nest with the usual precedence
+// and parentheses. A transposed access B^T(i,j) desugars to B(j,i). A bare
+// identifier is an order-0 (scalar) operand. Variables appearing only on the
+// right-hand side are implicitly summed (Einstein summation).
+func Parse(src string) (*Einsum, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	lhs, err := p.access()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eat('=') {
+		return nil, p.errf("expected '='")
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	e := &Einsum{LHS: lhs, RHS: rhs}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and tables.
+func MustParse(src string) *Einsum {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		var op Op
+		switch {
+		case p.eat('+'):
+			op = Add
+		case p.eat('-'):
+			op = Sub
+		default:
+			return l, nil
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+// term := factor ('*' factor)*
+func (p *parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.eat('*') {
+			return l, nil
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: Mul, L: l, R: r}
+	}
+}
+
+// factor := access | '(' expr ')'
+func (p *parser) factor() (Expr, error) {
+	p.skipSpace()
+	if p.eat('(') {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.eat(')') {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	return p.access()
+}
+
+// access := ident ['^T'] ['(' ident (',' ident)* ')']
+func (p *parser) access() (*Access, error) {
+	p.skipSpace()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	transposed := false
+	if strings.HasPrefix(p.src[p.pos:], "^T") {
+		transposed = true
+		p.pos += 2
+	}
+	a := &Access{Tensor: name}
+	p.skipSpace()
+	if p.eat('(') {
+		for {
+			p.skipSpace()
+			v, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			a.Idx = append(a.Idx, v)
+			p.skipSpace()
+			if p.eat(',') {
+				continue
+			}
+			if p.eat(')') {
+				break
+			}
+			return nil, p.errf("expected ',' or ')'")
+		}
+	}
+	if transposed {
+		if len(a.Idx) != 2 {
+			return nil, p.errf("transpose requires a matrix access, got %d indices", len(a.Idx))
+		}
+		a.Idx[0], a.Idx[1] = a.Idx[1], a.Idx[0]
+	}
+	return a, nil
+}

@@ -1,0 +1,226 @@
+// Package memmodel models SAM execution on finite hardware with a memory
+// hierarchy, recreating the ExTensor study of paper Section 6.4 (Figure 15):
+// "SpM*SpM performance across varying dimension sizes with a constant number
+// of nonzeros per matrix".
+//
+// The model follows the paper's recreation: two levels of memory hierarchy
+// (a last-level buffer and a processing-element buffer), tensors pre-tiled
+// into PE-sized tiles, SAM tile-sequencing graphs co-iterating tile
+// coordinates (so empty tile pairs are skipped — sparse tile skipping),
+// hierarchical coordinate skipping inside tiles, n-buffering overlapping
+// DRAM transfers with compute, and a fixed DRAM bandwidth.
+//
+// Tile occupancy is computed exactly from the generated matrices; the
+// per-tile-pair compute cost uses an analytic linear model calibrated
+// against the full cycle-level simulator (see the calibration test), since
+// the paper's own artifact needed ~65 hours to run every point through the
+// full simulator.
+package memmodel
+
+import (
+	"math/rand"
+
+	"sam/internal/tensor"
+)
+
+// Config mirrors the hardware parameters of the paper's ExTensor recreation
+// (Section 6.4).
+type Config struct {
+	// TileSize is the PE tile edge (paper: 128x128).
+	TileSize int
+	// LLBBytes is the last-level buffer capacity (paper: 17 MB).
+	LLBBytes int
+	// DRAMBytesPerCycle is the DRAM bandwidth normalized to the accelerator
+	// clock (paper: 68.256 GB/s at 1 GHz = 68.256 B/cycle).
+	DRAMBytesPerCycle float64
+	// BytesPerNonzero covers a coordinate plus a value (4B + 4B).
+	BytesPerNonzero int
+
+	// PairOverheadCycles is the fixed cost of sequencing one tile pair
+	// through a PE (configuration, metadata fetch, pipeline drain).
+	PairOverheadCycles float64
+	// CyclesPerElement is the streaming cost per nonzero token entering the
+	// PE's intersection datapath, calibrated against the skip-enabled cycle
+	// simulator (see TestAnalyticModelTracksCycleSimulator).
+	CyclesPerElement float64
+	// MatchFactor weighs the element-level intersection work, which for
+	// uniformly random tiles is proportional to bn*cn/TileSize.
+	MatchFactor float64
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		TileSize:           128,
+		LLBBytes:           17 << 20,
+		DRAMBytesPerCycle:  68.256,
+		BytesPerNonzero:    8,
+		PairOverheadCycles: 32,
+		CyclesPerElement:   3.0,
+		MatchFactor:        1.0,
+	}
+}
+
+// TileMap is a matrix reduced to tile granularity: nonzero counts per
+// nonempty tile, plus compressed tile-row and tile-column indexes.
+type TileMap struct {
+	Grid int // tiles per side
+	NNZ  map[[2]int]int
+	Rows map[int][]int // tile row -> sorted tile columns
+	Cols map[int][]int // tile column -> sorted tile rows
+}
+
+// Tile builds the tile map of a matrix.
+func Tile(m *tensor.COO, tileSize int) *TileMap {
+	grid := (m.Dims[0] + tileSize - 1) / tileSize
+	if g2 := (m.Dims[1] + tileSize - 1) / tileSize; g2 > grid {
+		grid = g2
+	}
+	tm := &TileMap{Grid: grid, NNZ: map[[2]int]int{}, Rows: map[int][]int{}, Cols: map[int][]int{}}
+	for _, p := range m.Pts {
+		ti := int(p.Crd[0]) / tileSize
+		tj := int(p.Crd[1]) / tileSize
+		if tm.NNZ[[2]int{ti, tj}] == 0 {
+			tm.Rows[ti] = insertSorted(tm.Rows[ti], tj)
+			tm.Cols[tj] = insertSorted(tm.Cols[tj], ti)
+		}
+		tm.NNZ[[2]int{ti, tj}]++
+	}
+	return tm
+}
+
+func insertSorted(xs []int, x int) []int {
+	lo := 0
+	for lo < len(xs) && xs[lo] < x {
+		lo++
+	}
+	xs = append(xs, 0)
+	copy(xs[lo+1:], xs[lo:])
+	xs[lo] = x
+	return xs
+}
+
+// NonemptyTiles counts tiles holding at least one nonzero.
+func (tm *TileMap) NonemptyTiles() int { return len(tm.NNZ) }
+
+// Stats summarizes one modeled run.
+type Stats struct {
+	Cycles        float64
+	ComputeCycles float64
+	DRAMCycles    float64
+	TilePairs     int // tile pairs processed (both sides nonempty)
+	SkippedPairs  int // tile pairs skipped by sparse tile skipping
+	DRAMBytes     float64
+}
+
+// SpMSpM models tiled sparse matrix multiplication X = B*C with the tile
+// dataflow of the ExTensor recreation: B tile rows are LLB-resident while C
+// streams; tile-level coordinate intersection skips empty pairs; transfers
+// and compute overlap via n-buffering (total time is the max of the two,
+// accumulated per B tile row).
+func SpMSpM(b, c *tensor.COO, cfg Config) Stats {
+	tb := Tile(b, cfg.TileSize)
+	tc := Tile(c, cfg.TileSize)
+	var st Stats
+
+	// C fits in the LLB when small; otherwise it is re-streamed once per B
+	// tile-row sweep. (With the paper's parameters C usually fits.)
+	cBytes := float64(c.NNZ() * cfg.BytesPerNonzero)
+	bBytes := float64(b.NNZ() * cfg.BytesPerNonzero)
+	cResident := cBytes <= float64(cfg.LLBBytes)/2
+
+	grid := tb.Grid
+	if tc.Grid > grid {
+		grid = tc.Grid
+	}
+	for ti := 0; ti < grid; ti++ {
+		rowKs := tb.Rows[ti]
+		if len(rowKs) == 0 {
+			continue
+		}
+		var compute float64
+		var bytes float64
+		// Load this B tile row.
+		rowNNZ := 0
+		for _, tk := range rowKs {
+			rowNNZ += tb.NNZ[[2]int{ti, tk}]
+		}
+		bytes += float64(rowNNZ * cfg.BytesPerNonzero)
+		// Tile-level co-iteration: for every tk in the B row, pair with
+		// every C tile in row tk of C (Gustavson at tile granularity).
+		for _, tk := range rowKs {
+			bn := tb.NNZ[[2]int{ti, tk}]
+			for _, tj := range tc.Rows[tk] {
+				cn := tc.NNZ[[2]int{tk, tj}]
+				st.TilePairs++
+				compute += cfg.PairOverheadCycles + cfg.CyclesPerElement*float64(bn+cn) +
+					cfg.MatchFactor*float64(bn)*float64(cn)/float64(cfg.TileSize)
+				if !cResident {
+					bytes += float64(cn * cfg.BytesPerNonzero)
+				}
+			}
+			// Sparse tile skipping: pairs whose C tile row is empty cost
+			// one tile-coordinate token, not a PE dispatch.
+			st.SkippedPairs += tc.Grid - len(tc.Rows[tk])
+		}
+		dram := bytes / cfg.DRAMBytesPerCycle
+		st.ComputeCycles += compute
+		st.DRAMCycles += dram
+		st.DRAMBytes += bytes
+		// n-buffering: transfer and compute overlap within a tile-row unit.
+		if compute > dram {
+			st.Cycles += compute
+		} else {
+			st.Cycles += dram
+		}
+	}
+	if cResident {
+		// C is loaded exactly once, overlapped with the first sweeps.
+		st.DRAMBytes += cBytes
+		extra := cBytes / cfg.DRAMBytesPerCycle
+		st.DRAMCycles += extra
+		st.Cycles += extra
+	}
+	_ = bBytes
+	// Tile-sequencing overhead: one cycle per tile coordinate token.
+	seq := float64(tb.NonemptyTiles() + tc.NonemptyTiles() + st.SkippedPairs)
+	st.Cycles += seq
+	st.ComputeCycles += seq
+	return st
+}
+
+// Point is one Figure 15 measurement.
+type Point struct {
+	Dim    int
+	NNZ    int
+	Cycles float64
+	Pairs  int
+}
+
+// Sweep reproduces the Figure 15 study: SpM*SpM runtime across dimension
+// sizes at constant nonzero count.
+func Sweep(dims []int, nnzs []int, cfg Config, seed int64) []Point {
+	var out []Point
+	for _, nnz := range nnzs {
+		for _, d := range dims {
+			rng := rand.New(rand.NewSource(seed + int64(nnz) + int64(d)))
+			b := tensor.UniformRandom("B", rng, nnz, d, d)
+			c := tensor.UniformRandom("C", rng, nnz, d, d)
+			st := SpMSpM(b, c, cfg)
+			out = append(out, Point{Dim: d, NNZ: nnz, Cycles: st.Cycles, Pairs: st.TilePairs})
+		}
+	}
+	return out
+}
+
+// PaperDims returns the artifact's dimension sweep: range(1024, 15721, 1336).
+func PaperDims() []int {
+	var dims []int
+	for d := 1024; d <= 15720; d += 1336 {
+		dims = append(dims, d)
+	}
+	return dims
+}
+
+// PaperNNZs returns the artifact's nonzero counts.
+func PaperNNZs() []int { return []int{5000, 10000, 25000, 50000} }

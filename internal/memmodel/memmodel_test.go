@@ -1,0 +1,138 @@
+package memmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/lang"
+	"sam/internal/sim"
+	"sam/internal/tensor"
+)
+
+func TestTileMap(t *testing.T) {
+	m := tensor.NewCOO("B", 300, 300)
+	m.Append(1, 0, 0)     // tile (0,0)
+	m.Append(1, 127, 127) // tile (0,0)
+	m.Append(1, 128, 0)   // tile (1,0)
+	m.Append(1, 0, 256)   // tile (0,2)
+	tm := Tile(m, 128)
+	if tm.Grid != 3 {
+		t.Fatalf("grid = %d, want 3", tm.Grid)
+	}
+	if tm.NonemptyTiles() != 3 {
+		t.Fatalf("nonempty tiles = %d, want 3", tm.NonemptyTiles())
+	}
+	if tm.NNZ[[2]int{0, 0}] != 2 {
+		t.Errorf("tile (0,0) nnz = %d, want 2", tm.NNZ[[2]int{0, 0}])
+	}
+	if got := tm.Rows[0]; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("row 0 tiles = %v, want [0 2]", got)
+	}
+	if got := tm.Cols[0]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("col 0 tiles = %v, want [0 1]", got)
+	}
+}
+
+// TestSpMSpMSkipsEmptyPairs checks sparse tile skipping: block-diagonal
+// operands produce only diagonal tile pairs.
+func TestSpMSpMSkipsEmptyPairs(t *testing.T) {
+	const d, tile = 512, 128
+	b := tensor.NewCOO("B", d, d)
+	c := tensor.NewCOO("C", d, d)
+	for blk := 0; blk < d/tile; blk++ {
+		for k := 0; k < 20; k++ {
+			r := int64(blk*tile + k)
+			b.Append(1, r, r)
+			c.Append(1, r, r)
+		}
+	}
+	st := SpMSpM(b, c, DefaultConfig())
+	if st.TilePairs != d/tile {
+		t.Errorf("tile pairs = %d, want %d (diagonal only)", st.TilePairs, d/tile)
+	}
+	if st.SkippedPairs == 0 {
+		t.Error("expected skipped pairs on block-diagonal data")
+	}
+}
+
+// TestAnalyticModelTracksCycleSimulator calibrates the analytic per-pair
+// cost against the real cycle simulator on whole small SpM*SpM instances:
+// across a range of shapes the two must stay within a modest constant
+// factor, which is what the Figure 15 substitution relies on.
+func TestAnalyticModelTracksCycleSimulator(t *testing.T) {
+	cfg := DefaultConfig()
+	// Use single-tile instances so the tile model reduces to one PE
+	// dispatch and the comparison isolates the per-element compute term.
+	// The recreation includes ExTensor's hierarchical coordinate skipping,
+	// so calibrate against the skip-enabled graphs.
+	g, err := custard.Compile(lang.MustParse("X(i,j) = B(i,k) * C(k,j)"), nil,
+		lang.Schedule{LoopOrder: []string{"i", "k", "j"}, UseSkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	for _, nnz := range []int{40, 120, 360} {
+		rng := rand.New(rand.NewSource(int64(nnz)))
+		b := tensor.UniformRandom("B", rng, nnz, cfg.TileSize, cfg.TileSize)
+		c := tensor.UniformRandom("C", rng, nnz, cfg.TileSize, cfg.TileSize)
+		res, err := sim.Run(g, map[string]*tensor.COO{"B": b, "C": c}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := SpMSpM(b, c, cfg)
+		ratio := st.ComputeCycles / float64(res.Cycles)
+		ratios = append(ratios, ratio)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("nnz=%d: analytic %e vs simulated %d cycles (ratio %.2f) — model out of calibration",
+				nnz, st.ComputeCycles, res.Cycles, ratio)
+		}
+	}
+	// The model should scale like the simulator: ratios stay within 4x of
+	// each other across a 9x nnz range.
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if hi/lo > 2 {
+		t.Errorf("analytic/simulated ratio drifts %.2fx across sizes (%v)", hi/lo, ratios)
+	}
+}
+
+// TestSweepDeterminism checks reproducibility for a fixed seed.
+func TestSweepDeterminism(t *testing.T) {
+	a := Sweep([]int{1024, 2360}, []int{5000}, DefaultConfig(), 7)
+	b := Sweep([]int{1024, 2360}, []int{5000}, DefaultConfig(), 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sweep not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+// TestNBufferingOverlap checks total cycles never exceed compute + DRAM and
+// never undercut the larger of the two.
+func TestNBufferingOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := tensor.UniformRandom("B", rng, 10000, 4000, 4000)
+	c := tensor.UniformRandom("C", rng, 10000, 4000, 4000)
+	st := SpMSpM(b, c, DefaultConfig())
+	if st.Cycles > st.ComputeCycles+st.DRAMCycles+1 {
+		t.Errorf("total %.0f exceeds compute %.0f + dram %.0f", st.Cycles, st.ComputeCycles, st.DRAMCycles)
+	}
+	if st.Cycles < math.Max(st.ComputeCycles, st.DRAMCycles)-1 {
+		t.Errorf("total %.0f undercuts max(compute %.0f, dram %.0f)", st.Cycles, st.ComputeCycles, st.DRAMCycles)
+	}
+}
+
+func TestPaperSweepParameters(t *testing.T) {
+	dims := PaperDims()
+	if len(dims) != 12 || dims[0] != 1024 || dims[len(dims)-1] != 15720 {
+		t.Errorf("paper dims = %v", dims)
+	}
+	if n := PaperNNZs(); len(n) != 4 {
+		t.Errorf("paper nnzs = %v", n)
+	}
+}

@@ -1,0 +1,524 @@
+// Package sim executes SAM dataflow graphs on the cycle-approximate engine.
+//
+// It reproduces the paper's simulator model (Section 6): graphs are fully
+// pipelined (every primitive produces at most one token per port per cycle),
+// input queues are unbounded by default, memory reads take one cycle, and
+// memories are pre-initialized. The engine binds input tensors to the
+// graph's operands (permuting mode orders and building the per-level storage
+// the formats request), runs the net to completion, gathers per-stream token
+// statistics, and assembles the output tensor from the level writers.
+package sim
+
+import (
+	"fmt"
+
+	"sam/internal/core"
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// MaxCycles aborts runaway simulations; 0 means a generous default.
+	MaxCycles int
+	// QueueCap bounds every inter-block queue, modeling finite buffering
+	// with backpressure; 0 means unbounded (the paper's default).
+	QueueCap int
+}
+
+// Result carries the outcome of a simulation.
+type Result struct {
+	// Cycles is the simulated execution time.
+	Cycles int
+	// Output is the computed tensor in the left-hand-side mode order.
+	Output *tensor.COO
+	// Streams holds per-stream statistics keyed by "node/port" labels, for
+	// the Figure 14 token-breakdown study.
+	Streams map[string]*core.StreamStats
+}
+
+// Run compiles nothing — it executes an already-compiled graph against the
+// given inputs (COO tensors keyed by source tensor name; order-0 tensors are
+// scalars).
+func Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = 2_000_000_000
+	}
+	b, err := newBuilder(g, inputs, opt)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := b.net.Run(opt.MaxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", g.Name, err)
+	}
+	out, err := b.assemble()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}}
+	for label, q := range b.monitored {
+		res.Streams[label] = &q.Stats
+	}
+	return res, nil
+}
+
+type builder struct {
+	g         *graph.Graph
+	opt       Options
+	net       *core.Net
+	arena     *core.VecArena
+	bound     map[string]*fiber.Tensor // operand name -> storage
+	dims      []int                    // output level dims
+	inQ       map[portKey]*core.Queue
+	outs      map[portKey]*core.Out
+	crdWr     map[int]*core.CrdWriter // output level -> writer
+	valsWr    *core.ValsWriter
+	bvWr      map[int]*core.BVWriter
+	vecWr     *core.VecValsWriter
+	monitored map[string]*core.Queue
+}
+
+type portKey struct {
+	node int
+	port string
+}
+
+func newBuilder(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*builder, error) {
+	b := &builder{
+		g: g, opt: opt, net: &core.Net{}, arena: &core.VecArena{},
+		bound: map[string]*fiber.Tensor{}, inQ: map[portKey]*core.Queue{},
+		outs: map[portKey]*core.Out{}, crdWr: map[int]*core.CrdWriter{},
+		bvWr: map[int]*core.BVWriter{}, monitored: map[string]*core.Queue{},
+	}
+	if err := b.bind(inputs); err != nil {
+		return nil, err
+	}
+	if err := b.resolveDims(inputs); err != nil {
+		return nil, err
+	}
+	// One queue per edge, one Out per (node, port) fan-out group.
+	for _, e := range g.Edges {
+		label := fmt.Sprintf("%s/%s", g.Nodes[e.From].Label, e.FromPort)
+		var q *core.Queue
+		if opt.QueueCap > 0 {
+			q = b.net.NewBoundedQueue(label, opt.QueueCap)
+		} else {
+			q = b.net.NewQueue(label)
+		}
+		b.inQ[portKey{e.To, e.ToPort}] = q
+		k := portKey{e.From, e.FromPort}
+		if b.outs[k] == nil {
+			b.outs[k] = core.NewOut()
+			b.monitored[label] = q
+		}
+		b.outs[k].Attach(q)
+	}
+	for _, n := range g.Nodes {
+		blk, err := b.instantiate(n)
+		if err != nil {
+			return nil, err
+		}
+		if blk != nil {
+			b.net.Add(blk)
+		}
+	}
+	return b, nil
+}
+
+// bind builds each operand's fibertree storage from its source tensor.
+func (b *builder) bind(inputs map[string]*tensor.COO) error {
+	for _, bd := range b.g.Bindings {
+		src, ok := inputs[bd.Source]
+		if !ok {
+			return fmt.Errorf("sim: no input bound for tensor %q", bd.Source)
+		}
+		perm, err := src.Permute(bd.Operand, bd.ModeOrder)
+		if err != nil {
+			return err
+		}
+		ft, err := perm.Build(bd.Formats...)
+		if err != nil {
+			return err
+		}
+		b.bound[bd.Operand] = ft
+	}
+	return nil
+}
+
+func (b *builder) resolveDims(inputs map[string]*tensor.COO) error {
+	for _, d := range b.g.OutputDims {
+		src, ok := inputs[d.Tensor]
+		if !ok {
+			return fmt.Errorf("sim: output dimension references unbound tensor %q", d.Tensor)
+		}
+		if d.Mode >= src.Order() {
+			return fmt.Errorf("sim: output dimension references mode %d of order-%d tensor %q", d.Mode, src.Order(), d.Tensor)
+		}
+		b.dims = append(b.dims, src.Dims[d.Mode])
+	}
+	return nil
+}
+
+// in returns the queue feeding an input port.
+func (b *builder) in(n *graph.Node, port string) (*core.Queue, error) {
+	q, ok := b.inQ[portKey{n.ID, port}]
+	if !ok {
+		return nil, fmt.Errorf("sim: node %q input port %q unconnected", n.Label, port)
+	}
+	return q, nil
+}
+
+// out returns the output port (empty, token-discarding, if unconnected).
+func (b *builder) out(n *graph.Node, port string) *core.Out {
+	if o, ok := b.outs[portKey{n.ID, port}]; ok {
+		return o
+	}
+	return core.NewOut()
+}
+
+// level fetches a bound operand's storage level.
+func (b *builder) level(n *graph.Node, operand string, lvl int) (fiber.Level, error) {
+	t, ok := b.bound[operand]
+	if !ok {
+		return nil, fmt.Errorf("sim: node %q references unbound operand %q", n.Label, operand)
+	}
+	if lvl >= len(t.Levels) {
+		return nil, fmt.Errorf("sim: node %q references level %d of order-%d operand %q", n.Label, lvl, len(t.Levels), operand)
+	}
+	return t.Levels[lvl], nil
+}
+
+func aluOp(op lang.Op) core.ALUOp {
+	switch op {
+	case lang.Mul:
+		return core.OpMul
+	case lang.Add:
+		return core.OpAdd
+	default:
+		return core.OpSub
+	}
+}
+
+func (b *builder) instantiate(n *graph.Node) (core.Block, error) {
+	switch n.Kind {
+	case graph.Root:
+		return core.NewRootSource(n.Label, b.out(n, "ref")), nil
+	case graph.Scanner:
+		lvl, err := b.level(n, n.Tensor, n.Level)
+		if err != nil {
+			return nil, err
+		}
+		in, err := b.in(n, "ref")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewScanner(n.Label, lvl, in, b.out(n, "crd"), b.out(n, "ref")), nil
+	case graph.BVScanner:
+		lvl, err := b.level(n, n.Tensor, n.Level)
+		if err != nil {
+			return nil, err
+		}
+		bv, ok := lvl.(*fiber.BitvectorLevel)
+		if !ok {
+			return nil, fmt.Errorf("sim: node %q scans %v level as bitvector", n.Label, lvl.Kind())
+		}
+		in, err := b.in(n, "ref")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBVScanner(n.Label, bv, in, b.out(n, "bv"), b.out(n, "ref")), nil
+	case graph.Repeat:
+		crd, err := b.in(n, "crd")
+		if err != nil {
+			return nil, err
+		}
+		ref, err := b.in(n, "ref")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRepeater(n.Label, crd, ref, b.out(n, "ref")), nil
+	case graph.Intersect, graph.Union:
+		crds := make([]*core.Queue, n.Ways)
+		refs := make([]*core.Queue, n.Ways)
+		refOuts := make([]*core.Out, n.Ways)
+		for i := 0; i < n.Ways; i++ {
+			var err error
+			if crds[i], err = b.in(n, fmt.Sprintf("crd%d", i)); err != nil {
+				return nil, err
+			}
+			if refs[i], err = b.in(n, fmt.Sprintf("ref%d", i)); err != nil {
+				return nil, err
+			}
+			refOuts[i] = b.out(n, fmt.Sprintf("ref%d", i))
+		}
+		if n.Kind == graph.Intersect {
+			return core.NewIntersect(n.Label, crds, refs, b.out(n, "crd"), refOuts), nil
+		}
+		return core.NewUnion(n.Label, crds, refs, b.out(n, "crd"), refOuts), nil
+	case graph.GallopIntersect:
+		la, err := b.level(n, n.Tensor, n.Level)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := b.level(n, n.TensorB, n.LevelB)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := b.in(n, "ref0")
+		if err != nil {
+			return nil, err
+		}
+		rb, err := b.in(n, "ref1")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGallopIntersect(n.Label, la, lb, ra, rb, b.out(n, "crd"), b.out(n, "ref0"), b.out(n, "ref1")), nil
+	case graph.Locate:
+		lvl, err := b.level(n, n.Tensor, n.Level)
+		if err != nil {
+			return nil, err
+		}
+		crd, err := b.in(n, "crd")
+		if err != nil {
+			return nil, err
+		}
+		ref, err := b.in(n, "ref")
+		if err != nil {
+			return nil, err
+		}
+		fib, err := b.in(n, "fiber")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewLocator(n.Label, lvl, crd, ref, fib, b.out(n, "crd"), b.out(n, "ref"), b.out(n, "loc")), nil
+	case graph.Array:
+		t, ok := b.bound[n.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("sim: node %q references unbound operand %q", n.Label, n.Tensor)
+		}
+		in, err := b.in(n, "ref")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewArrayLoad(n.Label, t.Vals, in, b.out(n, "val")), nil
+	case graph.ALU:
+		a, err := b.in(n, "a")
+		if err != nil {
+			return nil, err
+		}
+		bb, err := b.in(n, "b")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewALU(n.Label, aluOp(n.Op), a, bb, b.out(n, "val")), nil
+	case graph.Reduce:
+		switch n.RedN {
+		case 0:
+			in, err := b.in(n, "val")
+			if err != nil {
+				return nil, err
+			}
+			return core.NewScalarReducer(n.Label, in, b.out(n, "val")), nil
+		case 1:
+			crd, err := b.in(n, "crd")
+			if err != nil {
+				return nil, err
+			}
+			val, err := b.in(n, "val")
+			if err != nil {
+				return nil, err
+			}
+			return core.NewVectorReducer(n.Label, crd, val, b.out(n, "crd"), b.out(n, "val")), nil
+		case 2:
+			c0, err := b.in(n, "crd0")
+			if err != nil {
+				return nil, err
+			}
+			c1, err := b.in(n, "crd1")
+			if err != nil {
+				return nil, err
+			}
+			val, err := b.in(n, "val")
+			if err != nil {
+				return nil, err
+			}
+			return core.NewMatrixReducer(n.Label, c0, c1, val, b.out(n, "crd0"), b.out(n, "crd1"), b.out(n, "val")), nil
+		}
+		// General n-dimensional reducer.
+		crds := make([]*core.Queue, n.RedN)
+		crdOuts := make([]*core.Out, n.RedN)
+		for q := 0; q < n.RedN; q++ {
+			var err error
+			if crds[q], err = b.in(n, fmt.Sprintf("crd%d", q)); err != nil {
+				return nil, err
+			}
+			crdOuts[q] = b.out(n, fmt.Sprintf("crd%d", q))
+		}
+		val, err := b.in(n, "val")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTensorReducer(n.Label, n.RedN, crds, val, crdOuts, b.out(n, "val")), nil
+	case graph.CrdDrop:
+		outer, err := b.in(n, "outer")
+		if err != nil {
+			return nil, err
+		}
+		if n.DropVal {
+			val, err := b.in(n, "val")
+			if err != nil {
+				return nil, err
+			}
+			return core.NewCrdDropVal(n.Label, outer, val, b.out(n, "outer"), b.out(n, "val")), nil
+		}
+		inner, err := b.in(n, "inner")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewCrdDropCrd(n.Label, outer, inner, b.out(n, "outer"), b.out(n, "inner")), nil
+	case graph.CrdWriter:
+		in, err := b.in(n, "crd")
+		if err != nil {
+			return nil, err
+		}
+		w := core.NewCrdWriter(n.Label, n.Format, b.dims[n.OutLevel], n.OutLevel, in)
+		b.crdWr[n.OutLevel] = w
+		return w, nil
+	case graph.ValsWriter:
+		in, err := b.in(n, "val")
+		if err != nil {
+			return nil, err
+		}
+		w := core.NewValsWriter(n.Label, in)
+		b.valsWr = w
+		return w, nil
+	case graph.BVIntersect:
+		qs := map[string]*core.Queue{}
+		for _, p := range []string{"bv0", "ref0", "bv1", "ref1"} {
+			q, err := b.in(n, p)
+			if err != nil {
+				return nil, err
+			}
+			qs[p] = q
+		}
+		return core.NewBVIntersect(n.Label, qs["bv0"], qs["ref0"], qs["bv1"], qs["ref1"],
+			b.out(n, "bv"), b.out(n, "mask0"), b.out(n, "base0"), b.out(n, "mask1"), b.out(n, "base1")), nil
+	case graph.VecLoad:
+		t, ok := b.bound[n.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("sim: node %q references unbound operand %q", n.Label, n.Tensor)
+		}
+		bv, err := b.in(n, "bv")
+		if err != nil {
+			return nil, err
+		}
+		mask, err := b.in(n, "mask")
+		if err != nil {
+			return nil, err
+		}
+		base, err := b.in(n, "base")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewVecLoad(n.Label, t.Vals, b.arena, bv, mask, base, b.out(n, "val")), nil
+	case graph.VecALU:
+		a, err := b.in(n, "a")
+		if err != nil {
+			return nil, err
+		}
+		bb, err := b.in(n, "b")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewVecALU(n.Label, aluOp(n.Op), b.arena, a, bb, b.out(n, "val")), nil
+	case graph.BVExpand:
+		bv, err := b.in(n, "bv")
+		if err != nil {
+			return nil, err
+		}
+		mask, err := b.in(n, "mask")
+		if err != nil {
+			return nil, err
+		}
+		base, err := b.in(n, "base")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBVExpand(n.Label, bv, mask, base, b.out(n, "ref")), nil
+	case graph.BVConvert:
+		in, err := b.in(n, "crd")
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBVConvert(n.Label, n.Level, in, b.out(n, "bv")), nil
+	case graph.BVWriter:
+		in, err := b.in(n, "bv")
+		if err != nil {
+			return nil, err
+		}
+		w := core.NewBVWriter(n.Label, b.dims[n.OutLevel], in)
+		b.bvWr[n.OutLevel] = w
+		return w, nil
+	case graph.VecValsWriter:
+		bv, err := b.in(n, "bv")
+		if err != nil {
+			return nil, err
+		}
+		val, err := b.in(n, "val")
+		if err != nil {
+			return nil, err
+		}
+		w := core.NewVecValsWriter(n.Label, b.arena, bv, val)
+		b.vecWr = w
+		return w, nil
+	}
+	return nil, fmt.Errorf("sim: block kind %v not instantiable", n.Kind)
+}
+
+// assemble builds the output tensor from the writers, in the loop order the
+// graph produced it, then permutes to the user's left-hand-side order.
+func (b *builder) assemble() (*tensor.COO, error) {
+	g := b.g
+	order := len(g.OutputVars)
+	ft := &fiber.Tensor{Name: g.OutputTensor, Dims: b.dims}
+	if b.valsWr != nil {
+		ft.Vals = b.valsWr.Vals()
+	} else if b.vecWr != nil {
+		ft.Vals = b.vecWr.Vals()
+	} else {
+		return nil, fmt.Errorf("sim: graph %q has no value writer", g.Name)
+	}
+	for lvl := 0; lvl < order; lvl++ {
+		if w, ok := b.crdWr[lvl]; ok {
+			ft.Levels = append(ft.Levels, w.Level())
+			continue
+		}
+		if w, ok := b.bvWr[lvl]; ok {
+			ft.Levels = append(ft.Levels, fiber.NewBitvectorLevel(b.dims[lvl], w.Words()))
+			continue
+		}
+		return nil, fmt.Errorf("sim: no writer produced output level %d", lvl)
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: assembled output invalid: %w", err)
+	}
+	out := tensor.FromFiber(ft)
+	// Permute from loop order to the declared left-hand-side order.
+	perm := make([]int, order)
+	for i, v := range g.LHSVars {
+		found := false
+		for j, u := range g.OutputVars {
+			if u == v {
+				perm[i] = j
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sim: output variable %q missing from graph metadata", v)
+		}
+	}
+	return out.Permute(g.OutputTensor, perm)
+}

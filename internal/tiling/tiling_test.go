@@ -1,0 +1,99 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// TestTiledMatchesGold checks exactness of tile sequencing against the
+// dense reference across tile sizes, including tiles that do not divide the
+// dimensions evenly.
+func TestTiledMatchesGold(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := tensor.UniformRandom("B", rng, 400, 100, 90)
+	c := tensor.UniformRandom("C", rng, 400, 90, 110)
+	e := lang.MustParse("X(i,j) = B(i,k) * C(k,j)")
+	want, err := lang.Gold(e, map[string]*tensor.COO{"B": b, "C": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []int{16, 32, 64, 128} {
+		out, st, err := SpMSpM(b, c, Options{TileSize: tile})
+		if err != nil {
+			t.Fatalf("tile=%d: %v", tile, err)
+		}
+		if err := tensor.Equal(out, want, 1e-9); err != nil {
+			t.Errorf("tile=%d: %v", tile, err)
+		}
+		if st.TilePairs == 0 || st.Cycles == 0 {
+			t.Errorf("tile=%d: empty stats %+v", tile, st)
+		}
+	}
+}
+
+// TestTileSkipping checks that block-diagonal operands only launch diagonal
+// tile pairs.
+func TestTileSkipping(t *testing.T) {
+	const d, tile = 128, 32
+	b := tensor.NewCOO("B", d, d)
+	c := tensor.NewCOO("C", d, d)
+	for blk := 0; blk < d/tile; blk++ {
+		for k := 0; k < 10; k++ {
+			r := int64(blk*tile + k)
+			b.Append(1, r, r)
+			c.Append(1, r, r)
+		}
+	}
+	b.Sort()
+	c.Sort()
+	out, st, err := SpMSpM(b, c, Options{TileSize: tile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilePairs != d/tile {
+		t.Errorf("tile pairs = %d, want %d (diagonal only)", st.TilePairs, d/tile)
+	}
+	if out.NNZ() != 4*10 {
+		t.Errorf("output nnz = %d, want 40", out.NNZ())
+	}
+}
+
+// TestPEParallelismShortensRuntime checks the multi-PE runtime model: more
+// processing elements reduce the modeled makespan but never the total work.
+func TestPEParallelismShortensRuntime(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := tensor.UniformRandom("B", rng, 600, 128, 128)
+	c := tensor.UniformRandom("C", rng, 600, 128, 128)
+	var prev int
+	for i, pes := range []int{1, 2, 4} {
+		out, st, err := SpMSpM(b, c, Options{TileSize: 32, PEs: pes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.NNZ() == 0 {
+			t.Fatal("empty output")
+		}
+		if i > 0 && st.Cycles > prev {
+			t.Errorf("PEs=%d: cycles %d exceed fewer-PE run %d", pes, st.Cycles, prev)
+		}
+		prev = st.Cycles
+	}
+}
+
+// TestTiledAgreesWithUntiledCycleOrder checks the tiled runtime is within a
+// small factor of the whole-matrix run (tiling overhead is bounded).
+func TestTiledAgreesWithUntiledCycleOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := tensor.UniformRandom("B", rng, 500, 96, 96)
+	c := tensor.UniformRandom("C", rng, 500, 96, 96)
+	_, st, err := SpMSpM(b, c, Options{TileSize: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalTileCycles < st.Cycles-st.SequencerCycles {
+		t.Errorf("makespan %d exceeds total work %d", st.Cycles, st.TotalTileCycles)
+	}
+}

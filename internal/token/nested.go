@@ -1,0 +1,124 @@
+package token
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Nested is the recursive view of a stream: a fiber holding either child
+// fibers or leaf tokens. Streams can be interpreted as variable-length
+// nested lists where each stop token represents a parenthesis (paper
+// Section 3.2); Nested makes that interpretation explicit for tests,
+// debugging, and documentation.
+type Nested struct {
+	// Leaves holds the data tokens of a depth-1 fiber.
+	Leaves []Tok
+	// Kids holds the child fibers of a deeper fiber.
+	Kids []*Nested
+}
+
+// Flatten converts a nested structure of the given depth back into a flat
+// stream with hierarchical stop tokens and a final done token. Depth 1 means
+// Leaves are emitted directly; deeper structures recurse through Kids.
+func Flatten(n *Nested, depth int) Stream {
+	var out Stream
+	var walk func(f *Nested, d int)
+	walk = func(f *Nested, d int) {
+		if d <= 1 {
+			out = append(out, f.Leaves...)
+			return
+		}
+		for i, k := range f.Kids {
+			walk(k, d-1)
+			if i < len(f.Kids)-1 {
+				out = append(out, S(d-2))
+			}
+		}
+	}
+	walk(n, depth)
+	if depth > 0 {
+		out = append(out, S(depth-1))
+	}
+	return append(out, D())
+}
+
+// Nest parses a flat stream of the given depth into its nested structure,
+// inverting Flatten. Empty fibers (consecutive stops) become empty Nested
+// nodes. The done token terminates parsing.
+func Nest(s Stream, depth int) (*Nested, error) {
+	if depth == 0 {
+		root := &Nested{}
+		for _, t := range s {
+			if t.IsDone() {
+				return root, nil
+			}
+			if t.IsStop() {
+				return nil, fmt.Errorf("token: stop token in depth-0 stream")
+			}
+			root.Leaves = append(root.Leaves, t)
+		}
+		return nil, fmt.Errorf("token: stream missing done token")
+	}
+	// stack[d] is the currently open fiber at nesting distance d from the
+	// root (stack[0] = root).
+	root := &Nested{}
+	stack := make([]*Nested, depth+1)
+	stack[0] = root
+	open := func(from int) {
+		for d := from; d <= depth; d++ {
+			stack[d] = &Nested{}
+			stack[d-1].Kids = append(stack[d-1].Kids, stack[d])
+		}
+	}
+	open(1)
+	for _, t := range s {
+		switch t.Kind {
+		case Val, Empty:
+			leaf := stack[depth]
+			leaf.Leaves = append(leaf.Leaves, t)
+		case Stop:
+			lvl := t.StopLevel()
+			if lvl >= depth {
+				return nil, fmt.Errorf("token: stop level %d exceeds depth %d", lvl, depth)
+			}
+			// Sn closes the innermost fiber and n enclosing fibers, then a
+			// new fiber opens at that height.
+			open(depth - lvl)
+		case Done:
+			// The final stop opened a fresh fiber chain that no data ever
+			// entered; prune it bottom-up so the structure reflects only
+			// fibers the stream actually delimited.
+			for d := depth; d >= 1; d-- {
+				parent := stack[d-1]
+				if len(parent.Kids) == 0 {
+					break
+				}
+				last := parent.Kids[len(parent.Kids)-1]
+				if last == stack[d] && len(last.Leaves) == 0 && len(last.Kids) == 0 {
+					parent.Kids = parent.Kids[:len(parent.Kids)-1]
+				} else {
+					break
+				}
+			}
+			return root, nil
+		}
+	}
+	return nil, fmt.Errorf("token: stream missing done token")
+}
+
+// String renders the nested structure as parenthesized lists, e.g.
+// "((1), (2, 3), (4, 5))" for the Figure 1d value stream.
+func (n *Nested) String() string {
+	if n.Kids == nil {
+		parts := make([]string, len(n.Leaves))
+		for i, t := range n.Leaves {
+			parts[i] = t.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	parts := make([]string, len(n.Kids))
+	for i, k := range n.Kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,105 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestNestFigure1d reproduces the paper's Section 3.2 example: the value
+// stream "1, S0, 2, 3, S0, 4, 5, S1, D" represents ((1), (2, 3), (4, 5)).
+func TestNestFigure1d(t *testing.T) {
+	s := MustParse("1 S0 2 3 S0 4 5 S1 D")
+	n, err := Nest(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := n.String(), "(((1), (2, 3), (4, 5)))"; got != want {
+		t.Errorf("nested = %s, want %s", got, want)
+	}
+}
+
+// TestNestEmptyFibers checks consecutive stops parse as empty fibers.
+func TestNestEmptyFibers(t *testing.T) {
+	s := MustParse("1 S0 S0 2 S1 D")
+	n, err := Nest(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := n.String(), "(((1), (), (2)))"; got != want {
+		t.Errorf("nested = %s, want %s", got, want)
+	}
+}
+
+// TestFlattenInvertsNest round-trips hand-written streams.
+func TestFlattenInvertsNest(t *testing.T) {
+	for _, src := range []string{
+		"1 S0 2 3 S0 4 5 S1 D",
+		"7 S0 D",
+		"1 S0 S0 2 S1 D",
+		"1 2 3 S0 D",
+	} {
+		s := MustParse(src)
+		n, err := Nest(s, s.Depth())
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		back := Flatten(n.Kids[0], s.Depth())
+		if !Equal(s, back) {
+			t.Errorf("%q: round trip produced %s", src, back)
+		}
+	}
+}
+
+// TestQuickNestFlattenRoundTrip property-tests Nest/Flatten inversion over
+// randomly generated well-formed streams.
+func TestQuickNestFlattenRoundTrip(t *testing.T) {
+	gen := func(r *rand.Rand, depth int) Stream {
+		// Build a random nested structure, then flatten it.
+		var build func(d int) *Nested
+		build = func(d int) *Nested {
+			n := &Nested{}
+			if d == 1 {
+				for i := 0; i < r.Intn(4); i++ {
+					n.Leaves = append(n.Leaves, C(int64(r.Intn(50))))
+				}
+				return n
+			}
+			kids := r.Intn(3) + 1
+			for i := 0; i < kids; i++ {
+				n.Kids = append(n.Kids, build(d-1))
+			}
+			return n
+		}
+		return Flatten(build(depth), depth)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		depth := r.Intn(3) + 1
+		s := gen(r, depth)
+		if err := s.Validate(depth); err != nil {
+			return false
+		}
+		n, err := Nest(s, depth)
+		if err != nil {
+			return false
+		}
+		return Equal(s, Flatten(n.Kids[0], depth))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNestErrors checks malformed inputs.
+func TestNestErrors(t *testing.T) {
+	if _, err := Nest(MustParse("1 S2 D"), 2); err == nil {
+		t.Error("stop level beyond depth accepted")
+	}
+	if _, err := Nest(Stream{C(1)}, 1); err == nil {
+		t.Error("missing done token accepted")
+	}
+	if _, err := Nest(MustParse("1 S0 D"), 0); err == nil {
+		t.Error("stop in depth-0 stream accepted")
+	}
+}

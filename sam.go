@@ -1,0 +1,134 @@
+// Package sam is a Go reproduction of "The Sparse Abstract Machine"
+// (Hsu et al., ASPLOS 2023): an abstract machine model for sparse tensor
+// algebra on streaming dataflow accelerators, together with the Custard
+// compiler from tensor index notation to SAM dataflow graphs and a
+// cycle-approximate simulator.
+//
+// The high-level flow is: parse or write a tensor index notation statement,
+// compile it with per-tensor formats and a loop-order schedule into a SAM
+// graph, bind input tensors, and simulate:
+//
+//	b := sam.RandomTensor("B", rng, 1000, 250, 250)
+//	c := sam.RandomTensor("c", rng, 100, 250)
+//	g, err := sam.Compile("x(i) = B(i,j) * c(j)", nil, sam.Schedule{})
+//	res, err := sam.Simulate(g, sam.Inputs{"B": b, "c": c}, sam.Options{})
+//	fmt.Println(res.Cycles, res.Output)
+//
+// The subsystems live in internal packages: internal/core implements the
+// dataflow blocks (the paper's primary contribution), internal/custard the
+// compiler, internal/sim the cycle engine, internal/flow a concurrent
+// goroutine-per-block executor, internal/memmodel the finite-memory tiling
+// model, and internal/experiments the harnesses that regenerate every table
+// and figure of the paper's evaluation.
+package sam
+
+import (
+	"math/rand"
+
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/lang"
+	"sam/internal/sim"
+	"sam/internal/tensor"
+)
+
+// Tensor is a coordinate-list sparse tensor (order-0 tensors are scalars).
+type Tensor = tensor.COO
+
+// Inputs binds tensor names to tensors for simulation.
+type Inputs = map[string]*tensor.COO
+
+// Graph is a compiled SAM dataflow graph.
+type Graph = graph.Graph
+
+// Schedule selects the dataflow (loop) order and optimization rewrites.
+type Schedule = lang.Schedule
+
+// Formats maps tensor names to per-level storage formats.
+type Formats = lang.Formats
+
+// Format is one tensor's data-representation specification.
+type Format = lang.Format
+
+// LevelFormat is the storage format of one fibertree level.
+type LevelFormat = fiber.Format
+
+// Options configures the cycle simulator.
+type Options = sim.Options
+
+// Result carries simulated cycles, the output tensor, and stream statistics.
+type Result = sim.Result
+
+// Level storage formats (paper Sections 3.1 and 4.3).
+const (
+	Dense      = fiber.Dense
+	Compressed = fiber.Compressed
+	Bitvector  = fiber.Bitvector
+	LinkedList = fiber.LinkedList
+)
+
+// NewTensor creates an empty tensor with the given shape.
+func NewTensor(name string, dims ...int) *Tensor { return tensor.NewCOO(name, dims...) }
+
+// ScalarTensor wraps a value as an order-0 operand.
+func ScalarTensor(name string, v float64) *Tensor {
+	c := tensor.NewCOO(name)
+	c.Append(v)
+	return c
+}
+
+// RandomTensor draws a tensor with nnz uniformly random nonzeros.
+func RandomTensor(name string, rng *rand.Rand, nnz int, dims ...int) *Tensor {
+	return tensor.UniformRandom(name, rng, nnz, dims...)
+}
+
+// Uniform builds a format using the same storage at every level.
+func Uniform(order int, f fiber.Format) Format { return lang.Uniform(order, f) }
+
+// CSR is the dense-outer, compressed-inner format.
+func CSR(order int) Format { return lang.CSR(order) }
+
+// Parse reads one tensor index notation statement.
+func Parse(expr string) (*lang.Einsum, error) { return lang.Parse(expr) }
+
+// Compile lowers a tensor index notation statement to a SAM dataflow graph
+// (Custard, paper Section 5). A nil Formats defaults every tensor to fully
+// compressed levels; an empty Schedule uses the statement's natural variable
+// order.
+func Compile(expr string, formats Formats, sched Schedule) (*Graph, error) {
+	e, err := lang.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return custard.Compile(e, formats, sched)
+}
+
+// CompileBitvector lowers an elementwise multiplication over bitvector-level
+// operands to the vectorized bitvector pipeline (paper Section 4.3).
+func CompileBitvector(expr string, formats Formats) (*Graph, error) {
+	e, err := lang.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return custard.CompileBitvector(e, formats)
+}
+
+// Simulate executes a compiled graph on the cycle-approximate engine
+// (paper Section 6) and assembles the output tensor.
+func Simulate(g *Graph, inputs Inputs, opt Options) (*Result, error) {
+	return sim.Run(g, inputs, opt)
+}
+
+// Evaluate computes the statement directly on dense data — the gold
+// reference the simulator is validated against.
+func Evaluate(expr string, inputs Inputs) (*Tensor, error) {
+	e, err := lang.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return lang.Gold(e, inputs)
+}
+
+// Equal compares two tensors within tolerance, ignoring explicit zeros.
+func Equal(a, b *Tensor, eps float64) error { return tensor.Equal(a, b, eps) }

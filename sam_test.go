@@ -1,0 +1,105 @@
+package sam
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	B := RandomTensor("B", rng, 200, 50, 40)
+	c := RandomTensor("c", rng, 10, 40)
+	g, err := Compile("x(i) = B(i,j) * c(j)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, Inputs{"B": B, "c": c}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate("x(i) = B(i,j) * c(j)", Inputs{"B": B, "c": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(res.Output, want, 1e-9); err != nil {
+		t.Error(err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles simulated")
+	}
+	if !strings.Contains(g.DOT(), "digraph") {
+		t.Error("DOT export broken")
+	}
+}
+
+// TestFacadeFormatsAndSchedules exercises formats, loop orders and rewrites
+// through the facade.
+func TestFacadeFormatsAndSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	B := RandomTensor("B", rng, 300, 60, 30)
+	C := RandomTensor("C", rng, 300, 30, 60)
+	in := Inputs{"B": B, "C": C}
+	want, err := Evaluate("X(i,j) = B(i,k) * C(k,j)", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Schedule{
+		{},
+		{LoopOrder: []string{"i", "k", "j"}},
+		{LoopOrder: []string{"k", "i", "j"}},
+		{UseSkip: true},
+	} {
+		g, err := Compile("X(i,j) = B(i,k) * C(k,j)", nil, sched)
+		if err != nil {
+			t.Fatalf("%+v: %v", sched, err)
+		}
+		res, err := Simulate(g, in, Options{})
+		if err != nil {
+			t.Fatalf("%+v: %v", sched, err)
+		}
+		if err := Equal(res.Output, want, 1e-9); err != nil {
+			t.Errorf("%+v: %v", sched, err)
+		}
+	}
+}
+
+// TestFacadeScalarTensor exercises order-0 operands.
+func TestFacadeScalarTensor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := RandomTensor("b", rng, 20, 50)
+	a := ScalarTensor("a", 2.5)
+	g, err := Compile("x(i) = a * b(i)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, Inputs{"a": a, "b": b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate("x(i) = a * b(i)", Inputs{"a": a, "b": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(res.Output, want, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFacadeErrors checks user-facing error paths.
+func TestFacadeErrors(t *testing.T) {
+	if _, err := Compile("garbage(((", nil, Schedule{}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if _, err := Compile("x(i) = b(i)", nil, Schedule{LoopOrder: []string{"z"}}); err == nil {
+		t.Error("bad loop order not surfaced")
+	}
+	g, err := Compile("x(i) = b(i) * c(i)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(g, Inputs{}, Options{}); err == nil {
+		t.Error("missing inputs not surfaced")
+	}
+}
