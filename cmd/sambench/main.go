@@ -7,12 +7,15 @@
 //	sambench                 # run everything
 //	sambench -exp fig12      # one experiment
 //	sambench -exp table1,fig13a -scale 0.5
+//	sambench -exp engines -json > BENCH.json   # machine-readable results
+//	sambench -engine naive   # re-run the evaluation on the tick-all loop
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel.
+// fig15, pointlevel, engines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,90 +23,145 @@ import (
 	"time"
 
 	"sam/internal/experiments"
+	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines"}
+
+// jsonResult is the machine-readable record emitted per experiment with
+// -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
+type jsonResult struct {
+	Experiment string  `json:"experiment"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Engine     string  `json:"engine"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	Data       any     `json:"data"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments to run (see usage)")
 	seed := flag.Int64("seed", 1, "random seed for synthetic data")
-	scale := flag.Float64("scale", 1.0, "problem-size scale for fig11/fig12 (1.0 = paper size)")
+	scale := flag.Float64("scale", 1.0, "problem-size scale for fig11/fig12/engines (1.0 = paper size)")
+	engine := flag.String("engine", "", "simulation engine: event (default) or naive")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
+	if *engine != "" {
+		// Experiments need cycle counts and stream statistics, which only
+		// the cycle-accurate engines produce.
+		kind := sim.EngineKind(*engine)
+		if kind != sim.EngineEvent && kind != sim.EngineNaive {
+			fmt.Fprintf(os.Stderr, "sambench: unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineNaive)
+			os.Exit(1)
+		}
+		experiments.SimOptions.Engine = kind
+	}
 	names := all
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	var records []jsonResult
 	for _, name := range names {
 		start := time.Now()
-		out, err := run(name, *seed, *scale)
+		text, data, err := run(name, *seed, *scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sambench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *asJSON {
+			eng := string(experiments.SimOptions.Engine)
+			if eng == "" {
+				eng = string(sim.EngineEvent)
+			}
+			records = append(records, jsonResult{
+				Experiment: name, Seed: *seed, Scale: *scale, Engine: eng,
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000, Data: data,
+			})
+			continue
+		}
+		fmt.Println(text)
+		fmt.Printf("[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func run(name string, seed int64, scale float64) (string, error) {
+// run executes one experiment, returning both the rendered table and the
+// structured rows for -json.
+func run(name string, seed int64, scale float64) (string, any, error) {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderTable1(rows), nil
+		return experiments.RenderTable1(rows), rows, nil
 	case "table2":
 		rows, unique, total, err := experiments.Table2()
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderTable2(rows, unique, total), nil
+		data := map[string]any{"rows": rows, "unique": unique, "total": total}
+		return experiments.RenderTable2(rows, unique, total), data, nil
 	case "fig11":
 		pts, err := experiments.Figure11(seed, scale)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure11(pts), nil
+		return experiments.RenderFigure11(pts), pts, nil
 	case "fig12":
 		pts, err := experiments.Figure12(seed, scale)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure12(pts), nil
+		return experiments.RenderFigure12(pts), pts, nil
 	case "fig13a":
 		pts, err := experiments.Figure13a(seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure13("Figure 13a: elementwise mul vs sparsity (urandom, dim 2000)", "nnz", pts), nil
+		return experiments.RenderFigure13("Figure 13a: elementwise mul vs sparsity (urandom, dim 2000)", "nnz", pts), pts, nil
 	case "fig13b":
 		pts, err := experiments.Figure13b(seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure13("Figure 13b: elementwise mul vs run length (runs, nnz 400)", "run", pts), nil
+		return experiments.RenderFigure13("Figure 13b: elementwise mul vs run length (runs, nnz 400)", "run", pts), pts, nil
 	case "fig13c":
 		pts, err := experiments.Figure13c(seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure13("Figure 13c: elementwise mul vs block size (blocks, nnz 400)", "block", pts), nil
+		return experiments.RenderFigure13("Figure 13c: elementwise mul vs block size (blocks, nnz 400)", "block", pts), pts, nil
 	case "fig14":
 		rows, err := experiments.Figure14(seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderFigure14(rows), nil
+		return experiments.RenderFigure14(rows), rows, nil
 	case "fig15":
-		return experiments.RenderFigure15(experiments.Figure15(seed)), nil
+		pts := experiments.Figure15(seed)
+		return experiments.RenderFigure15(pts), pts, nil
 	case "pointlevel":
 		rows, err := experiments.PointVsLevel(seed)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.RenderPointVsLevel(rows), nil
+		return experiments.RenderPointVsLevel(rows), rows, nil
+	case "engines":
+		pts, err := experiments.EngineComparison(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderEngineComparison(pts), pts, nil
 	}
-	return "", fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
+	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

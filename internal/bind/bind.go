@@ -1,0 +1,56 @@
+// Package bind resolves a compiled SAM graph's operand bindings against
+// concrete input tensors. Every executor (the cycle engines in internal/sim
+// and the goroutine executor in internal/flow) needs the same two steps
+// before running a graph: build each operand's fibertree storage in the
+// scheduled mode order, and resolve the output dimension sizes. Centralizing
+// them here keeps the engines free of duplicated binding plumbing.
+package bind
+
+import (
+	"fmt"
+
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/tensor"
+)
+
+// Operands builds each operand's fibertree storage from its source tensor,
+// permuting mode orders and building the per-level storage the graph's
+// formats request. Inputs are keyed by source tensor name; order-0 tensors
+// are scalars.
+func Operands(g *graph.Graph, inputs map[string]*tensor.COO) (map[string]*fiber.Tensor, error) {
+	bound := make(map[string]*fiber.Tensor, len(g.Bindings))
+	for _, bd := range g.Bindings {
+		src, ok := inputs[bd.Source]
+		if !ok {
+			return nil, fmt.Errorf("bind: no input bound for tensor %q", bd.Source)
+		}
+		perm, err := src.Permute(bd.Operand, bd.ModeOrder)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := perm.Build(bd.Formats...)
+		if err != nil {
+			return nil, err
+		}
+		bound[bd.Operand] = ft
+	}
+	return bound, nil
+}
+
+// OutputDims resolves the output level dimension sizes from the input
+// tensors the graph's metadata references.
+func OutputDims(g *graph.Graph, inputs map[string]*tensor.COO) ([]int, error) {
+	dims := make([]int, 0, len(g.OutputDims))
+	for _, d := range g.OutputDims {
+		src, ok := inputs[d.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("bind: output dimension references unbound tensor %q", d.Tensor)
+		}
+		if d.Mode >= src.Order() {
+			return nil, fmt.Errorf("bind: output dimension references mode %d of order-%d tensor %q", d.Mode, src.Order(), d.Tensor)
+		}
+		dims = append(dims, src.Dims[d.Mode])
+	}
+	return dims, nil
+}

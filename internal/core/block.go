@@ -7,11 +7,33 @@ import "fmt"
 // emitting at most one token per output port; it reports whether the block
 // made progress. Done reports stream termination (the block has consumed and
 // propagated the done token).
+//
+// Tick must be a pure function of the block's state and its visible queue
+// state whenever it reports no progress: a tick that returns false may
+// record an error (fail) or consume alignment tokens, but a block that
+// neither progressed nor saw any new input, freed output space, or internal
+// state change must behave identically on the next tick. The event-driven
+// scheduler relies on this to skip starved blocks without perturbing
+// simulated cycle counts.
 type Block interface {
 	Name() string
 	Tick() bool
 	Done() bool
 	Err() error
+}
+
+// Ported is implemented by blocks that declare their port wiring. The
+// event-driven scheduler (Net.Run) uses the declaration to wake a block
+// exactly when one of its input queues flips new tokens visible or a
+// backpressured output queue frees space. Nil entries (optional ports) are
+// permitted. A net containing any block that does not implement Ported
+// falls back to the naive tick-all loop.
+type Ported interface {
+	Block
+	// InQueues lists the queues the block consumes from.
+	InQueues() []*Queue
+	// OutPorts lists the output ports the block pushes into.
+	OutPorts() []*Out
 }
 
 // basic carries the bookkeeping shared by all block implementations.

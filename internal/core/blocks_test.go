@@ -298,7 +298,7 @@ func TestScalarReducer(t *testing.T) {
 	mustRun(t, n)
 
 	// Groups (1+2), (3), and an empty group that emits an explicit zero.
-	checkStream(t, "reduced", out.Drain(), "3.0 3.0 0 S0 D")
+	checkStream(t, "reduced", out.Drain(), "3.0 3.0 0.0 S0 D")
 }
 
 // TestALU checks value-stream arithmetic with empty-token-as-zero handling.

@@ -557,3 +557,53 @@ func (b *VecValsWriter) Tick() bool {
 
 // Vals returns the written values.
 func (b *VecValsWriter) Vals() []float64 { return b.vals }
+
+// InQueues implements Ported.
+func (b *BVScanner) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *BVScanner) OutPorts() []*Out { return []*Out{b.outBV, b.outRef} }
+
+// InQueues implements Ported.
+func (b *BVIntersect) InQueues() []*Queue {
+	return []*Queue{b.inBVA, b.inRefA, b.inBVB, b.inRefB}
+}
+
+// OutPorts implements Ported.
+func (b *BVIntersect) OutPorts() []*Out { return b.outs() }
+
+// InQueues implements Ported.
+func (b *VecLoad) InQueues() []*Queue { return []*Queue{b.inBV, b.inMask, b.inBase} }
+
+// OutPorts implements Ported.
+func (b *VecLoad) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *VecALU) InQueues() []*Queue { return []*Queue{b.inA, b.inB} }
+
+// OutPorts implements Ported.
+func (b *VecALU) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *BVExpand) InQueues() []*Queue { return []*Queue{b.inBV, b.inMask, b.inBase} }
+
+// OutPorts implements Ported.
+func (b *BVExpand) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *BVConvert) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *BVConvert) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *BVWriter) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *BVWriter) OutPorts() []*Out { return nil }
+
+// InQueues implements Ported.
+func (b *VecValsWriter) InQueues() []*Queue { return []*Queue{b.inBV, b.inVec} }
+
+// OutPorts implements Ported.
+func (b *VecValsWriter) OutPorts() []*Out { return nil }

@@ -555,3 +555,33 @@ func (b *MatrixReducer) stepFlush() bool {
 	b.pendingStop = -1
 	return true
 }
+
+// InQueues implements Ported.
+func (b *ArrayLoad) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *ArrayLoad) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *ALU) InQueues() []*Queue { return []*Queue{b.inA, b.inB} }
+
+// OutPorts implements Ported.
+func (b *ALU) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *ScalarReducer) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *ScalarReducer) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *VectorReducer) InQueues() []*Queue { return []*Queue{b.inCrd, b.inVal} }
+
+// OutPorts implements Ported.
+func (b *VectorReducer) OutPorts() []*Out { return []*Out{b.outCrd, b.outVal} }
+
+// InQueues implements Ported.
+func (b *MatrixReducer) InQueues() []*Queue { return []*Queue{b.inOuter, b.inInner, b.inVal} }
+
+// OutPorts implements Ported.
+func (b *MatrixReducer) OutPorts() []*Out { return []*Out{b.outOuter, b.outInner, b.outVal} }

@@ -150,3 +150,9 @@ func (b *Locator) Tick() bool {
 	}
 	return b.fail("unexpected token %v on coordinate input", t)
 }
+
+// InQueues implements Ported (inFiber may be nil for root-fiber locators).
+func (b *Locator) InQueues() []*Queue { return []*Queue{b.inCrd, b.inRef, b.inFiber} }
+
+// OutPorts implements Ported.
+func (b *Locator) OutPorts() []*Out { return []*Out{b.outCrd, b.outRef, b.outLoc} }

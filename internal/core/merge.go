@@ -14,6 +14,8 @@ type Intersect struct {
 	inRef  []*Queue
 	outCrd *Out
 	outRef []*Out
+
+	heads []token.Tok // per-tick peek scratch
 }
 
 // NewIntersect builds an m-ary intersecter; the slices must have equal
@@ -28,7 +30,10 @@ func (b *Intersect) Tick() bool {
 		return false
 	}
 	m := len(b.inCrd)
-	heads := make([]token.Tok, m)
+	if b.heads == nil {
+		b.heads = make([]token.Tok, m)
+	}
+	heads := b.heads
 	for i, q := range b.inCrd {
 		t, ok := q.Peek()
 		if !ok {
@@ -144,6 +149,8 @@ type Union struct {
 	inRef  []*Queue
 	outCrd *Out
 	outRef []*Out
+
+	heads []token.Tok // per-tick peek scratch
 }
 
 // NewUnion builds an m-ary unioner.
@@ -157,7 +164,10 @@ func (b *Union) Tick() bool {
 		return false
 	}
 	m := len(b.inCrd)
-	heads := make([]token.Tok, m)
+	if b.heads == nil {
+		b.heads = make([]token.Tok, m)
+	}
+	heads := b.heads
 	for i, q := range b.inCrd {
 		t, ok := q.Peek()
 		if !ok {
@@ -239,3 +249,15 @@ func (b *Union) Tick() bool {
 		return true
 	}
 }
+
+// InQueues implements Ported.
+func (b *Intersect) InQueues() []*Queue { return append(append([]*Queue{}, b.inCrd...), b.inRef...) }
+
+// OutPorts implements Ported.
+func (b *Intersect) OutPorts() []*Out { return append([]*Out{b.outCrd}, b.outRef...) }
+
+// InQueues implements Ported.
+func (b *Union) InQueues() []*Queue { return append(append([]*Queue{}, b.inCrd...), b.inRef...) }
+
+// OutPorts implements Ported.
+func (b *Union) OutPorts() []*Out { return append([]*Out{b.outCrd}, b.outRef...) }

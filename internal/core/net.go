@@ -31,23 +31,58 @@ func (n *Net) Add(bs ...Block) {
 	n.Blocks = append(n.Blocks, bs...)
 }
 
-// Run ticks every block once per cycle until all blocks are done, flipping
-// queue visibility between cycles. It returns the number of simulated cycles.
-// A cycle with no progress and no staged tokens is a deadlock; exceeding
-// limit aborts (both return errors naming the stuck blocks).
+// Run executes the net until all blocks are done, flipping queue visibility
+// between cycles, and returns the number of simulated cycles. A cycle with
+// no progress and no staged tokens is a deadlock; exceeding limit aborts
+// (both return errors naming the stuck blocks).
+//
+// Run uses the event-driven ready-set scheduler (see sched.go): per cycle it
+// ticks only blocks made ready by the previous cycle's queue flips, by
+// freed backpressure space, or by their own progress. Cycle counts, outputs
+// and stream statistics are identical to RunNaive; a net containing blocks
+// that do not declare their ports (Ported) falls back to RunNaive.
 func (n *Net) Run(limit int) (int, error) {
+	if s := newScheduler(n); s != nil {
+		return s.run(limit)
+	}
+	return n.RunNaive(limit)
+}
+
+// RunNaive is the reference tick-all loop: every block is ticked on every
+// cycle regardless of whether it can make progress. It is retained for
+// differential testing against the event-driven scheduler and as the
+// fallback for blocks without port declarations.
+func (n *Net) RunNaive(limit int) (int, error) {
+	for _, q := range n.Queues {
+		// A previous event-engine run may have left hooks; the naive loop
+		// must run without them.
+		q.sched = nil
+		q.flipPending = false
+	}
 	cycles := 0
+	finish := func() {
+		for _, q := range n.Queues {
+			if idle := int64(cycles) - q.Stats.pushed(); idle > 0 {
+				q.Stats.Idle = idle
+			} else {
+				q.Stats.Idle = 0
+			}
+		}
+	}
 	for {
 		if cycles >= limit {
-			return cycles, fmt.Errorf("core: cycle limit %d exceeded; unfinished: %s", limit, n.unfinished())
+			finish()
+			return cycles, errLimit(limit, n)
 		}
 		progress := false
 		allDone := true
 		for _, b := range n.Blocks {
 			if b.Tick() {
 				progress = true
-			}
-			if err := b.Err(); err != nil {
+			} else if err := b.Err(); err != nil {
+				// fail always reports no progress, so the error check is
+				// needed only on failed ticks.
+				finish()
 				return cycles, err
 			}
 			if !b.Done() {
@@ -65,12 +100,22 @@ func (n *Net) Run(limit int) (int, error) {
 		}
 		cycles++
 		if allDone {
+			finish()
 			return cycles, nil
 		}
 		if !progress && !staged {
-			return cycles, fmt.Errorf("core: deadlock after %d cycles; unfinished: %s", cycles, n.unfinished())
+			finish()
+			return cycles, errDeadlock(cycles, n)
 		}
 	}
+}
+
+func errLimit(limit int, n *Net) error {
+	return fmt.Errorf("core: cycle limit %d exceeded; unfinished: %s", limit, n.unfinished())
+}
+
+func errDeadlock(cycles int, n *Net) error {
+	return fmt.Errorf("core: deadlock after %d cycles; unfinished: %s", cycles, n.unfinished())
 }
 
 func (n *Net) unfinished() string {

@@ -131,3 +131,15 @@ func (b *Serializer) Tick() bool {
 	}
 	return b.fail("unexpected token %v", t)
 }
+
+// InQueues implements Ported.
+func (b *Parallelizer) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *Parallelizer) OutPorts() []*Out { return b.outs }
+
+// InQueues implements Ported.
+func (b *Serializer) InQueues() []*Queue { return b.ins }
+
+// OutPorts implements Ported.
+func (b *Serializer) OutPorts() []*Out { return []*Out{b.out} }

@@ -14,15 +14,35 @@ import "sam/internal/token"
 // Queue is a FIFO stream buffer between two blocks. A zero capacity means
 // unbounded (the paper's infinite input queue assumption); a positive
 // capacity models finite hardware buffering with backpressure.
+//
+// Storage is a power-of-two ring buffer indexed by monotonically increasing
+// head/vis/tail counters: buf[head&mask : vis&mask] is visible, up to
+// tail is staged. EndCycle publishes staged tokens by advancing vis — O(1)
+// — and pops never move memory; the ring grows only when occupancy exceeds
+// its size.
 type Queue struct {
 	Label string
 	Cap   int
 
-	ready  []token.Tok
-	staged []token.Tok
-	head   int
+	buf  []token.Tok // power-of-two ring
+	head int         // next pop position
+	vis  int         // visibility watermark (two-phase flip)
+	tail int         // next push position
 
-	// Statistics for the Figure 14 stream-breakdown study.
+	// Event-engine wiring, installed by the ready-set scheduler before a
+	// run (see sched.go). consumer/producer hold the registered block index
+	// plus one (zero means unregistered) so that the scheduler can wake the
+	// consumer when staged tokens flip visible and the producer when a pop
+	// frees space in a bounded queue.
+	sched       *scheduler
+	consumer    int
+	producer    int
+	wired       int32
+	flipPending bool
+
+	// Statistics for the Figure 14 stream-breakdown study. Idle is filled
+	// in by the engine when the run ends (cycles minus pushed tokens); the
+	// other counters accumulate as tokens are pushed.
 	Stats StreamStats
 }
 
@@ -35,32 +55,55 @@ type StreamStats struct {
 	Empty int64
 	Done  int64
 	Idle  int64
-
-	pushedThisCycle bool
 }
 
 // Total returns the number of cycles accounted for by the stream.
 func (s StreamStats) Total() int64 { return s.Data + s.Stop + s.Empty + s.Done + s.Idle }
 
+// pushed is the number of cycles in which the wire carried a token (at most
+// one token is pushed per queue per cycle under the paper's cost model).
+func (s StreamStats) pushed() int64 { return s.Data + s.Stop + s.Empty + s.Done }
+
 // NewQueue returns an unbounded queue.
 func NewQueue(label string) *Queue { return &Queue{Label: label} }
 
 // Len is the number of visible (ready) tokens.
-func (q *Queue) Len() int { return len(q.ready) - q.head }
+func (q *Queue) Len() int { return q.vis - q.head }
 
 // StagedLen is the number of tokens pushed this cycle, not yet visible.
-func (q *Queue) StagedLen() int { return len(q.staged) }
+func (q *Queue) StagedLen() int { return q.tail - q.vis }
 
 // Full reports whether a push would exceed the queue capacity.
 func (q *Queue) Full() bool {
-	return q.Cap > 0 && q.Len()+len(q.staged) >= q.Cap
+	return q.Cap > 0 && q.tail-q.head >= q.Cap
+}
+
+// grow doubles the ring, unwrapping the live region into the new buffer.
+func (q *Queue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 64
+	}
+	nb := make([]token.Tok, size)
+	mask := len(q.buf) - 1
+	for i := q.head; i < q.tail; i++ {
+		nb[i&(size-1)] = q.buf[i&mask]
+	}
+	q.buf = nb
 }
 
 // Push stages a token for visibility next cycle. The caller must have
 // checked Full (blocks check all output ports before emitting anything).
 func (q *Queue) Push(t token.Tok) {
-	q.staged = append(q.staged, t)
-	q.Stats.pushedThisCycle = true
+	if q.tail-q.head == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&(len(q.buf)-1)] = t
+	q.tail++
+	if q.sched != nil && !q.flipPending {
+		q.flipPending = true
+		q.sched.stage(q.wired)
+	}
 	switch t.Kind {
 	case token.Val:
 		q.Stats.Data++
@@ -75,43 +118,44 @@ func (q *Queue) Push(t token.Tok) {
 
 // Peek returns the head token without consuming it.
 func (q *Queue) Peek() (token.Tok, bool) {
-	if q.head >= len(q.ready) {
+	if q.head >= q.vis {
 		return token.Tok{}, false
 	}
-	return q.ready[q.head], true
+	return q.buf[q.head&(len(q.buf)-1)], true
 }
 
 // Pop consumes and returns the head token.
 func (q *Queue) Pop() (token.Tok, bool) {
-	if q.head >= len(q.ready) {
+	if q.head >= q.vis {
 		return token.Tok{}, false
 	}
-	t := q.ready[q.head]
+	t := q.buf[q.head&(len(q.buf)-1)]
 	q.head++
-	if q.head > 64 && q.head*2 >= len(q.ready) {
-		q.ready = append(q.ready[:0], q.ready[q.head:]...)
-		q.head = 0
+	if q.Cap > 0 && q.sched != nil && q.producer > 0 {
+		// A pop frees buffer space immediately, so a producer blocked on
+		// backpressure may be able to emit again.
+		q.sched.wake(q.producer - 1)
 	}
 	return t, true
 }
 
-// EndCycle makes staged tokens visible and accounts an idle cycle if nothing
-// was pushed. The engine calls it once per cycle on every queue.
+// EndCycle makes staged tokens visible. The engine calls it between cycles
+// on every queue that staged tokens.
 func (q *Queue) EndCycle() {
-	if len(q.staged) > 0 {
-		q.ready = append(q.ready, q.staged...)
-		q.staged = q.staged[:0]
-	}
-	if !q.Stats.pushedThisCycle {
-		q.Stats.Idle++
-	}
-	q.Stats.pushedThisCycle = false
+	q.vis = q.tail
 }
 
-// Preload fills the queue with an entire recorded stream, used by tests and
-// by source-less graph fragments.
+// Preload fills the queue with an entire recorded stream, immediately
+// visible; used by tests and by source-less graph fragments.
 func (q *Queue) Preload(s token.Stream) {
-	q.ready = append(q.ready, s...)
+	for _, t := range s {
+		if q.tail-q.head == len(q.buf) {
+			q.grow()
+		}
+		q.buf[q.tail&(len(q.buf)-1)] = t
+		q.tail++
+	}
+	q.vis = q.tail
 }
 
 // Drain consumes and returns every visible token; used by tests.

@@ -106,3 +106,9 @@ func (b *Repeater) Tick() bool {
 	}
 	return b.fail("unexpected token %v on coordinate input", t)
 }
+
+// InQueues implements Ported.
+func (b *Repeater) InQueues() []*Queue { return []*Queue{b.inCrd, b.inRef} }
+
+// OutPorts implements Ported.
+func (b *Repeater) OutPorts() []*Out { return []*Out{b.out} }

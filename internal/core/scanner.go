@@ -110,3 +110,9 @@ func (b *Scanner) Tick() bool {
 	}
 	return b.fail("unexpected token %v on reference input", t)
 }
+
+// InQueues implements Ported.
+func (b *Scanner) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *Scanner) OutPorts() []*Out { return []*Out{b.outCrd, b.outRef} }

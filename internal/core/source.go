@@ -69,3 +69,15 @@ func (b *Sink) Tick() bool {
 	}
 	return true
 }
+
+// InQueues implements Ported.
+func (b *RootSource) InQueues() []*Queue { return nil }
+
+// OutPorts implements Ported.
+func (b *RootSource) OutPorts() []*Out { return []*Out{b.out} }
+
+// InQueues implements Ported.
+func (b *Sink) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *Sink) OutPorts() []*Out { return nil }

@@ -74,3 +74,9 @@ func (b *ArrayStore) Tick() bool {
 	}
 	return b.fail("misaligned inputs %v vs %v", tr, tv)
 }
+
+// InQueues implements Ported.
+func (b *ArrayStore) InQueues() []*Queue { return []*Queue{b.inRef, b.inVal} }
+
+// OutPorts implements Ported.
+func (b *ArrayStore) OutPorts() []*Out { return nil }

@@ -266,3 +266,9 @@ func (b *TensorReducer) stepFlush() bool {
 	}
 	return true
 }
+
+// InQueues implements Ported.
+func (b *TensorReducer) InQueues() []*Queue { return append(append([]*Queue{}, b.inCrd...), b.inVal) }
+
+// OutPorts implements Ported.
+func (b *TensorReducer) OutPorts() []*Out { return append(append([]*Out{}, b.outCrd...), b.outVal) }

@@ -124,3 +124,15 @@ func (b *ValsWriter) Tick() bool {
 
 // Vals returns the written value array.
 func (b *ValsWriter) Vals() []float64 { return b.vals }
+
+// InQueues implements Ported.
+func (b *CrdWriter) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *CrdWriter) OutPorts() []*Out { return nil }
+
+// InQueues implements Ported.
+func (b *ValsWriter) InQueues() []*Queue { return []*Queue{b.in} }
+
+// OutPorts implements Ported.
+func (b *ValsWriter) OutPorts() []*Out { return nil }

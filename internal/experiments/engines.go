@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sam/internal/sim"
+)
+
+// EnginePoint is one engine's wall-clock measurement over the Figure 12
+// six-permutation SpM*SpM study.
+type EnginePoint struct {
+	Engine      string  `json:"engine"`
+	TotalCycles int     `json:"total_cycles"`
+	WallMS      float64 `json:"wall_ms"`
+	// Speedup is wall-clock relative to the naive tick-all engine.
+	Speedup float64 `json:"speedup_vs_naive"`
+}
+
+// EngineComparison runs the Figure 12 workload sequentially on the naive
+// tick-all engine and on the event-driven ready-set scheduler, checks that
+// the two report identical simulated cycle counts, and reports wall-clock
+// speedup. It is the perf regression tripwire for the execution layer;
+// cmd/sambench -json emits its rows for BENCH_*.json trend files.
+func EngineComparison(seed int64, scale float64) ([]EnginePoint, error) {
+	jobs, _, err := fig12Jobs(seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	cycles := map[sim.EngineKind]int{}
+	wall := map[sim.EngineKind]float64{}
+	const reps = 3
+	for _, kind := range []sim.EngineKind{sim.EngineNaive, sim.EngineEvent} {
+		opt := SimOptions
+		opt.Engine = kind
+		opt.Workers = 1 // sequential: measure engine speed, not parallelism
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			results, err := sim.RunBatch(jobs, opt)
+			if err != nil {
+				return nil, fmt.Errorf("engines %s: %w", kind, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if r == 0 || ms < best {
+				best = ms
+			}
+			cycles[kind] = 0
+			for _, res := range results {
+				cycles[kind] += res.Cycles
+			}
+		}
+		wall[kind] = best
+	}
+	if cycles[sim.EngineNaive] != cycles[sim.EngineEvent] {
+		return nil, fmt.Errorf("engines: cycle mismatch: naive %d vs event %d",
+			cycles[sim.EngineNaive], cycles[sim.EngineEvent])
+	}
+	var out []EnginePoint
+	for _, kind := range []sim.EngineKind{sim.EngineNaive, sim.EngineEvent} {
+		sp := 0.0
+		if wall[kind] > 0 {
+			sp = wall[sim.EngineNaive] / wall[kind]
+		}
+		out = append(out, EnginePoint{
+			Engine:      string(kind),
+			TotalCycles: cycles[kind],
+			WallMS:      wall[kind],
+			Speedup:     sp,
+		})
+	}
+	return out, nil
+}
+
+// RenderEngineComparison prints the engine study.
+func RenderEngineComparison(pts []EnginePoint) string {
+	header := []string{"Engine", "Total cycles", "Wall ms", "Speedup vs naive"}
+	var body [][]string
+	for _, p := range pts {
+		body = append(body, []string{
+			p.Engine, fmt.Sprint(p.TotalCycles),
+			fmt.Sprintf("%.1f", p.WallMS), fmt.Sprintf("%.2fx", p.Speedup),
+		})
+	}
+	return "Engine comparison: Figure 12 SpM*SpM study, naive vs event-driven scheduler\n" + table(header, body)
+}

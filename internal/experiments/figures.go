@@ -120,9 +120,14 @@ type Fig12Point struct {
 	Cycles int
 }
 
-// Figure12 simulates all six ijk permutations of SpM*SpM on two distinct
-// 95% sparse uniform matrices with I=J=250 and K=100.
-func Figure12(seed int64, scale float64) ([]Fig12Point, error) {
+// fig12Orders are the six ijk permutations of the dataflow-order study.
+var fig12Orders = [][]string{
+	{"i", "j", "k"}, {"j", "i", "k"}, {"i", "k", "j"}, {"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"},
+}
+
+// fig12Jobs compiles the six-permutation study into batch jobs over shared
+// inputs.
+func fig12Jobs(seed int64, scale float64) ([]sim.Job, string, error) {
 	ij := int(250 * scale)
 	kk := int(100 * scale)
 	if ij < 8 {
@@ -136,17 +141,44 @@ func Figure12(seed int64, scale float64) ([]Fig12Point, error) {
 	c := sparseUniform("C", rng, kk, ij, 0.05)
 	inputs := map[string]*tensor.COO{"B": b, "C": c}
 	expr := "X(i,j) = B(i,k) * C(k,j)"
-	var out []Fig12Point
-	for _, order := range [][]string{
-		{"i", "j", "k"}, {"j", "i", "k"}, {"i", "k", "j"}, {"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"},
-	} {
-		res, _, err := compileRun(expr, nil, lang.Schedule{LoopOrder: order}, inputs)
+	e, err := lang.Parse(expr)
+	if err != nil {
+		return nil, expr, err
+	}
+	jobs := make([]sim.Job, 0, len(fig12Orders))
+	for _, order := range fig12Orders {
+		g, err := custard.Compile(e, nil, lang.Schedule{LoopOrder: order})
 		if err != nil {
-			return nil, fmt.Errorf("fig12 order %v: %w", order, err)
+			return nil, expr, fmt.Errorf("fig12 order %v: %w", order, err)
 		}
-		if err := checkGold(expr, inputs, res); err != nil {
-			return nil, fmt.Errorf("fig12 order %v: %w", order, err)
+		jobs = append(jobs, sim.Job{
+			Name:   "fig12 order " + order[0] + order[1] + order[2],
+			Graph:  g,
+			Inputs: inputs,
+		})
+	}
+	return jobs, expr, nil
+}
+
+// Figure12 simulates all six ijk permutations of SpM*SpM on two distinct
+// 95% sparse uniform matrices with I=J=250 and K=100. The six permutations
+// run concurrently through the batch runner; each job owns its net, so the
+// cycle counts are identical to sequential runs.
+func Figure12(seed int64, scale float64) ([]Fig12Point, error) {
+	jobs, expr, err := fig12Jobs(seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.RunBatch(jobs, SimOptions)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Point
+	for i, res := range results {
+		if err := checkGold(expr, jobs[i].Inputs, res); err != nil {
+			return nil, fmt.Errorf("%s: %w", jobs[i].Name, err)
 		}
+		order := fig12Orders[i]
 		out = append(out, Fig12Point{Order: order[0] + order[1] + order[2], Cycles: res.Cycles})
 	}
 	return out, nil
@@ -234,7 +266,7 @@ func elementwiseCycles(cfg Fig13Config, b, c *tensor.COO, split int) (int, error
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(g, inputs, sim.Options{})
+		res, err := sim.Run(g, inputs, SimOptions)
 		if err != nil {
 			return 0, err
 		}
@@ -253,7 +285,7 @@ func elementwiseCycles(cfg Fig13Config, b, c *tensor.COO, split int) (int, error
 		if err != nil {
 			return 0, err
 		}
-		res, err := sim.Run(g, map[string]*tensor.COO{"b": bs, "c": cs}, sim.Options{})
+		res, err := sim.Run(g, map[string]*tensor.COO{"b": bs, "c": cs}, SimOptions)
 		if err != nil {
 			return 0, err
 		}

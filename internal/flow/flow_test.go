@@ -1,4 +1,4 @@
-package flow
+package flow_test
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 
 	"sam/internal/custard"
 	"sam/internal/fiber"
+	"sam/internal/flow"
 	"sam/internal/lang"
 	"sam/internal/sim"
 	"sam/internal/tensor"
@@ -20,12 +21,12 @@ func TestScannerMatchesFigure2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := &Runner{}
+	r := &flow.Runner{}
 	crdI, refI := r.Scanner("Bi", ten.Levels[0], r.Root())
 	crdJ, refJ := r.Scanner("Bj", ten.Levels[1], refI)
-	gotI := Collect(crdI)
-	gotJ := Collect(crdJ)
-	gotRefJ := Collect(refJ)
+	gotI := flow.Collect(crdI)
+	gotJ := flow.Collect(crdJ)
+	gotRefJ := flow.Collect(refJ)
 	if err := r.Wait(); err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFlowMatchesCycleEngine(t *testing.T) {
 				if err != nil {
 					t.Fatalf("compile: %v", err)
 				}
-				flowOut, err := Run(g, inputs)
+				flowOut, err := flow.Run(g, inputs)
 				if err != nil {
 					t.Fatalf("flow run: %v", err)
 				}
@@ -141,7 +142,7 @@ func TestFlowLocators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flowOut, err := Run(g, inputs)
+	flowOut, err := flow.Run(g, inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

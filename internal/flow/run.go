@@ -3,6 +3,7 @@ package flow
 import (
 	"fmt"
 
+	"sam/internal/bind"
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
@@ -17,29 +18,13 @@ import (
 // cycle engine instead.
 func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 	r := &Runner{}
-	bound := map[string]*fiber.Tensor{}
-	for _, bd := range g.Bindings {
-		src, ok := inputs[bd.Source]
-		if !ok {
-			return nil, fmt.Errorf("flow: no input bound for tensor %q", bd.Source)
-		}
-		perm, err := src.Permute(bd.Operand, bd.ModeOrder)
-		if err != nil {
-			return nil, err
-		}
-		ft, err := perm.Build(bd.Formats...)
-		if err != nil {
-			return nil, err
-		}
-		bound[bd.Operand] = ft
+	bound, err := bind.Operands(g, inputs)
+	if err != nil {
+		return nil, err
 	}
-	dims := make([]int, 0, len(g.OutputDims))
-	for _, d := range g.OutputDims {
-		src, ok := inputs[d.Tensor]
-		if !ok {
-			return nil, fmt.Errorf("flow: output dimension references unbound tensor %q", d.Tensor)
-		}
-		dims = append(dims, src.Dims[d.Mode])
+	dims, err := bind.OutputDims(g, inputs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Wire edges: outputs may fan out; every input port gets one stream.
@@ -270,6 +255,17 @@ func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 	}
 	if err := r.Wait(); err != nil {
 		return nil, err
+	}
+	// Sanity-check the recorded writer streams before materializing levels:
+	// a malformed stream here is a block bug, and Validate pinpoints it.
+	for id, n := range collect {
+		depth := len(g.OutputVars)
+		if n.Kind == graph.CrdWriter {
+			depth = n.OutLevel + 1
+		}
+		if err := recs[id].Validate(depth); err != nil {
+			return nil, fmt.Errorf("flow: writer %q stream malformed: %w", n.Label, err)
+		}
 	}
 	for id, n := range collect {
 		if n.Kind == graph.ValsWriter {

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"sam/internal/core"
+	"sam/internal/flow"
+	"sam/internal/graph"
+	"sam/internal/tensor"
+)
+
+// EngineKind names one of the graph executors behind Options.Engine.
+type EngineKind string
+
+// The available engines.
+const (
+	// EngineEvent is the default cycle-accurate engine: the event-driven
+	// ready-set scheduler that ticks only blocks with newly visible input,
+	// freed backpressure space, or pending internal work.
+	EngineEvent EngineKind = "event"
+	// EngineNaive is the reference cycle-accurate engine that ticks every
+	// block on every cycle. It produces bit-identical results to
+	// EngineEvent and exists for differential testing and benchmarking.
+	EngineNaive EngineKind = "naive"
+	// EngineFlow is the functional goroutine-per-block executor from
+	// internal/flow: every block a goroutine, every stream a channel. It
+	// computes outputs only — Result.Cycles is zero and no stream
+	// statistics are gathered — and supports the core block set (graphs
+	// using gallop or bitvector blocks need a cycle engine).
+	EngineFlow EngineKind = "flow"
+)
+
+// Engine executes a compiled SAM graph against bound inputs. Both
+// cycle-accurate schedulers and the goroutine executor implement it; pick
+// one with EngineFor or, at the API surface, Options.Engine.
+type Engine interface {
+	// Name returns the EngineKind string naming the engine.
+	Name() string
+	// Run executes the graph and assembles the output tensor.
+	Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error)
+}
+
+// EngineFor resolves an engine selector; the empty kind selects the default
+// event-driven engine.
+func EngineFor(kind EngineKind) (Engine, error) {
+	switch kind {
+	case "", EngineEvent:
+		return cycleEngine{kind: EngineEvent}, nil
+	case EngineNaive:
+		return cycleEngine{kind: EngineNaive}, nil
+	case EngineFlow:
+		return flowEngine{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown engine %q (want %q, %q or %q)", kind, EngineEvent, EngineNaive, EngineFlow)
+}
+
+// cycleEngine runs graphs on the cycle-accurate core.Net simulator, with
+// either the event-driven or the naive scheduler.
+type cycleEngine struct {
+	kind EngineKind
+}
+
+func (e cycleEngine) Name() string { return string(e.kind) }
+
+func (e cycleEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	if opt.MaxCycles == 0 {
+		opt.MaxCycles = 2_000_000_000
+	}
+	b, err := newBuilder(g, inputs, opt)
+	if err != nil {
+		return nil, err
+	}
+	var cycles int
+	if e.kind == EngineNaive {
+		cycles, err = b.net.RunNaive(opt.MaxCycles)
+	} else {
+		cycles, err = b.net.Run(opt.MaxCycles)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", g.Name, err)
+	}
+	out, err := b.assemble()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}}
+	for label, q := range b.monitored {
+		res.Streams[label] = &q.Stats
+	}
+	return res, nil
+}
+
+// flowEngine adapts the goroutine-per-block executor to the Engine
+// interface.
+type flowEngine struct{}
+
+func (flowEngine) Name() string { return string(EngineFlow) }
+
+func (flowEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	out, err := flow.Run(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}}, nil
+}

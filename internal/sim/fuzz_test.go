@@ -142,6 +142,53 @@ func TestFuzzRandomExpressions(t *testing.T) {
 	t.Logf("executed %d/400 random statements", executed)
 }
 
+// TestFuzzEngineEquivalence cross-checks the event-driven scheduler against
+// the naive tick-all loop on randomly generated statements: identical cycle
+// counts and byte-identical outputs, under both unbounded and bounded
+// queues (bounded queues exercise the backpressure wakeup path).
+func TestFuzzEngineEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	executed := 0
+	for trial := 0; trial < 150; trial++ {
+		expr, inputs := randExpr(r)
+		e, err := lang.Parse(expr)
+		if err != nil {
+			continue
+		}
+		g, err := custard.Compile(e, nil, lang.Schedule{})
+		if err != nil {
+			continue
+		}
+		caps := []int{0, 2, 7}
+		cap := caps[r.Intn(len(caps))]
+		naive, errNaive := Run(g, inputs, Options{Engine: EngineNaive, QueueCap: cap})
+		event, errEvent := Run(g, inputs, Options{Engine: EngineEvent, QueueCap: cap})
+		if errNaive != nil || errEvent != nil {
+			// Tiny bounded queues can genuinely deadlock a graph (real
+			// backpressure cycles); the engines must agree on the failure.
+			if (errNaive == nil) != (errEvent == nil) {
+				t.Fatalf("trial %d %q cap=%d: engines disagree: naive=%v event=%v", trial, expr, cap, errNaive, errEvent)
+			}
+			if errNaive.Error() != errEvent.Error() {
+				t.Fatalf("trial %d %q cap=%d: errors differ:\n naive: %v\n event: %v", trial, expr, cap, errNaive, errEvent)
+			}
+			executed++
+			continue
+		}
+		if event.Cycles != naive.Cycles {
+			t.Fatalf("trial %d %q cap=%d: cycles event %d vs naive %d", trial, expr, cap, event.Cycles, naive.Cycles)
+		}
+		if err := tensor.Equal(event.Output, naive.Output, 0); err != nil {
+			t.Fatalf("trial %d %q cap=%d: outputs differ: %v", trial, expr, cap, err)
+		}
+		executed++
+	}
+	if executed < 50 {
+		t.Fatalf("only %d/150 random statements executed", executed)
+	}
+	t.Logf("cross-checked %d/150 random statements", executed)
+}
+
 // TestFuzzRandomFormats runs a fixed expression battery under random format
 // assignments.
 func TestFuzzRandomFormats(t *testing.T) {

@@ -7,11 +7,18 @@
 // graph's operands (permuting mode orders and building the per-level storage
 // the formats request), runs the net to completion, gathers per-stream token
 // statistics, and assembles the output tensor from the level writers.
+//
+// Three engines implement the Engine interface: the default event-driven
+// ready-set scheduler, the naive tick-all reference loop (bit-identical
+// results, kept for differential testing), and the goroutine-per-block
+// functional executor from internal/flow. Select one with Options.Engine;
+// run many graph+input bindings concurrently with RunBatch.
 package sim
 
 import (
 	"fmt"
 
+	"sam/internal/bind"
 	"sam/internal/core"
 	"sam/internal/fiber"
 	"sam/internal/graph"
@@ -26,6 +33,11 @@ type Options struct {
 	// QueueCap bounds every inter-block queue, modeling finite buffering
 	// with backpressure; 0 means unbounded (the paper's default).
 	QueueCap int
+	// Engine selects the executor; the zero value is the event-driven
+	// cycle-accurate engine (EngineEvent).
+	Engine EngineKind
+	// Workers bounds RunBatch's worker pool; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Result carries the outcome of a simulation.
@@ -41,28 +53,13 @@ type Result struct {
 
 // Run compiles nothing — it executes an already-compiled graph against the
 // given inputs (COO tensors keyed by source tensor name; order-0 tensors are
-// scalars).
+// scalars) on the engine Options.Engine selects.
 func Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
-	if opt.MaxCycles == 0 {
-		opt.MaxCycles = 2_000_000_000
-	}
-	b, err := newBuilder(g, inputs, opt)
+	eng, err := EngineFor(opt.Engine)
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := b.net.Run(opt.MaxCycles)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", g.Name, err)
-	}
-	out, err := b.assemble()
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}}
-	for label, q := range b.monitored {
-		res.Streams[label] = &q.Stats
-	}
-	return res, nil
+	return eng.Run(g, inputs, opt)
 }
 
 type builder struct {
@@ -130,35 +127,20 @@ func newBuilder(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*bu
 
 // bind builds each operand's fibertree storage from its source tensor.
 func (b *builder) bind(inputs map[string]*tensor.COO) error {
-	for _, bd := range b.g.Bindings {
-		src, ok := inputs[bd.Source]
-		if !ok {
-			return fmt.Errorf("sim: no input bound for tensor %q", bd.Source)
-		}
-		perm, err := src.Permute(bd.Operand, bd.ModeOrder)
-		if err != nil {
-			return err
-		}
-		ft, err := perm.Build(bd.Formats...)
-		if err != nil {
-			return err
-		}
-		b.bound[bd.Operand] = ft
+	bound, err := bind.Operands(b.g, inputs)
+	if err != nil {
+		return err
 	}
+	b.bound = bound
 	return nil
 }
 
 func (b *builder) resolveDims(inputs map[string]*tensor.COO) error {
-	for _, d := range b.g.OutputDims {
-		src, ok := inputs[d.Tensor]
-		if !ok {
-			return fmt.Errorf("sim: output dimension references unbound tensor %q", d.Tensor)
-		}
-		if d.Mode >= src.Order() {
-			return fmt.Errorf("sim: output dimension references mode %d of order-%d tensor %q", d.Mode, src.Order(), d.Tensor)
-		}
-		b.dims = append(b.dims, src.Dims[d.Mode])
+	dims, err := bind.OutputDims(b.g, inputs)
+	if err != nil {
+		return err
 	}
+	b.dims = dims
 	return nil
 }
 

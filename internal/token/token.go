@@ -58,11 +58,23 @@ type Tok struct {
 	V    float64
 }
 
+// valueN marks a data token constructed as a tensor value (V). Without the
+// marker a value token carrying 0.0 is bit-identical to the coordinate
+// token C(0) and the two render and re-parse ambiguously. Coordinates,
+// references and stop levels are never negative, so the marker cannot
+// collide with them; the one bitvector word sharing the pattern (bits 63
+// and 62 set, all others clear) merely renders as a value, which only
+// affects debug output.
+const valueN = int64(-1) << 62
+
 // C constructs a coordinate or reference token.
 func C(n int64) Tok { return Tok{Kind: Val, N: n} }
 
-// V constructs a value token.
-func V(v float64) Tok { return Tok{Kind: Val, V: v} }
+// V constructs a value token. Value tokens carry an internal marker in N so
+// that String can render them distinctly from coordinate tokens even when
+// the value is 0; compare value tokens against tokens built by V or Parse
+// (which uses V for float literals), not against C.
+func V(v float64) Tok { return Tok{Kind: Val, N: valueN, V: v} }
 
 // BV constructs a bitvector-word token.
 func BV(bits uint64) Tok { return Tok{Kind: Val, N: int64(bits)} }
@@ -99,12 +111,19 @@ func (t Tok) StopLevel() int {
 
 // String renders the token in the paper's notation: plain integers for
 // coordinates/references, Sn for stops, N for empty, and D for done.
-// Value tokens render as their float value.
+// Value tokens render as their float value with a guaranteed decimal point
+// or exponent, so that Parse inverts String: "3" stays a coordinate while a
+// value token holding 3 renders "3.0" (and a value token holding 0 renders
+// "0.0", not the ambiguous integer "0").
 func (t Tok) String() string {
 	switch t.Kind {
 	case Val:
-		if t.V != 0 {
-			return strconv.FormatFloat(t.V, 'g', -1, 64)
+		if t.N == valueN || t.V != 0 {
+			s := strconv.FormatFloat(t.V, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			return s
 		}
 		return strconv.FormatInt(t.N, 10)
 	case Stop:
@@ -227,17 +246,22 @@ func (s Stream) Depth() int {
 	return d
 }
 
-// Validate checks stream well-formedness: exactly one done token, located at
-// the end; stop levels within [0, depth); no two data tokens separated by a
-// stop deeper than depth. It returns a descriptive error for malformed
-// streams; the simulator uses it to catch block bugs early.
+// Validate checks stream well-formedness: exactly one done token, located
+// at the end; stop levels within [0, depth) between the data tokens; and,
+// for depth >= 1, full closure — a stream that carried any token must close
+// its outermost fiber with a stop of level depth-1 immediately before the
+// done token (a bare "D" stream, the empty-result artifact, is exempt). It
+// returns a descriptive error for malformed streams; the executors use it
+// to catch block bugs early.
 func (s Stream) Validate(depth int) error {
 	if len(s) == 0 {
 		return fmt.Errorf("token: empty stream")
 	}
+	dones := 0
 	for i, t := range s {
 		switch t.Kind {
 		case Done:
+			dones++
 			if i != len(s)-1 {
 				return fmt.Errorf("token: done token at position %d before end of stream", i)
 			}
@@ -250,8 +274,14 @@ func (s Stream) Validate(depth int) error {
 			}
 		}
 	}
-	if !s[len(s)-1].IsDone() {
-		return fmt.Errorf("token: stream does not end with done token")
+	if dones != 1 || !s[len(s)-1].IsDone() {
+		return fmt.Errorf("token: stream does not end with exactly one done token")
+	}
+	if depth >= 1 && len(s) > 1 {
+		last := s[len(s)-2]
+		if !last.IsStop() || last.StopLevel() != depth-1 {
+			return fmt.Errorf("token: depth-%d stream ends with %v before done; outermost fiber left open (want S%d)", depth, last, depth-1)
+		}
 	}
 	return nil
 }

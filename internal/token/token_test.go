@@ -13,7 +13,14 @@ func TestTokenStrings(t *testing.T) {
 		want string
 	}{
 		{C(7), "7"},
+		{C(0), "0"},
 		{V(2.5), "2.5"},
+		// Value tokens always carry a decimal point or exponent so that
+		// Parse inverts String: a value 3 is not the coordinate 3, and a
+		// value 0 is not the coordinate 0.
+		{V(3), "3.0"},
+		{V(0), "0.0"},
+		{V(1e21), "1e+21"},
 		{S(0), "S0"},
 		{S(3), "S3"},
 		{N(), "N"},
@@ -22,6 +29,15 @@ func TestTokenStrings(t *testing.T) {
 	for _, tc := range cases {
 		if got := tc.tok.String(); got != tc.want {
 			t.Errorf("%#v.String() = %q, want %q", tc.tok, got, tc.want)
+		}
+	}
+	for _, tok := range []Tok{V(0), V(3), V(2.5), C(0), C(7)} {
+		back, err := Parse(tok.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tok.String(), err)
+		}
+		if len(back) != 1 || back[0] != tok {
+			t.Errorf("Parse(%q) = %v, want %v", tok.String(), back, tok)
 		}
 	}
 }
@@ -65,11 +81,17 @@ func TestValidate(t *testing.T) {
 	}{
 		{"1 2 S0 D", 1, true},
 		{"D", 0, true},
+		{"D", 2, true}, // empty-result artifact: bare done at any depth
 		{"0 D", 0, true},
-		{"1 S0 D", 0, false}, // stop in depth-0 stream
-		{"1 S2 D", 2, false}, // stop level out of range
-		{"1 D 2", 1, false},  // done before end
-		{"1 2 S0", 1, false}, // missing done
+		{"1 S0 2 3 S0 4 5 S1 D", 2, true},
+		{"1 2 S0 S0 S1 D", 2, true}, // empty fibers (consecutive stops)
+		{"1 S0 D", 0, false},        // stop in depth-0 stream
+		{"1 S2 D", 2, false},        // stop level out of range
+		{"1 D 2", 1, false},         // done before end
+		{"1 2 S0", 1, false},        // missing done
+		{"1 2 D", 1, false},         // outermost fiber never closed
+		{"1 S0 2 S0 D", 2, false},   // depth-2 stream closed only to S0
+		{"1 2 S0 D D", 1, false},    // more than one done token
 	}
 	for _, tc := range cases {
 		err := MustParse(tc.in).Validate(tc.depth)
@@ -86,11 +108,15 @@ func TestParseFormatRoundTrip(t *testing.T) {
 		n := r.Intn(40)
 		s := make(Stream, 0, n+1)
 		for i := 0; i < n; i++ {
-			switch r.Intn(3) {
+			switch r.Intn(4) {
 			case 0:
 				s = append(s, C(int64(r.Intn(1000))))
 			case 1:
 				s = append(s, S(r.Intn(4)))
+			case 2:
+				// Value tokens roundtrip too, including integral values and
+				// exact zero (rendered "3.0"/"0.0", not "3"/"0").
+				s = append(s, V(float64(r.Intn(7))/2))
 			default:
 				s = append(s, N())
 			}

@@ -14,12 +14,25 @@
 //	res, err := sam.Simulate(g, sam.Inputs{"B": b, "c": c}, sam.Options{})
 //	fmt.Println(res.Cycles, res.Output)
 //
+// Simulation runs on one of three engines selected by Options.Engine: the
+// default event-driven ready-set scheduler (EngineEvent), which ticks only
+// blocks with newly visible input, freed backpressure space, or pending
+// internal work; the naive tick-all reference loop (EngineNaive), which is
+// bit-identical and exists for differential testing; and the functional
+// goroutine-per-block executor (EngineFlow), which computes outputs without
+// cycle counts. Independent simulations batch onto a worker pool with
+// SimulateBatch:
+//
+//	jobs := []sam.Job{{Name: "ikj", Graph: g1, Inputs: in}, {Name: "kij", Graph: g2, Inputs: in}}
+//	results, err := sam.SimulateBatch(jobs, sam.Options{})
+//
 // The subsystems live in internal packages: internal/core implements the
 // dataflow blocks (the paper's primary contribution), internal/custard the
-// compiler, internal/sim the cycle engine, internal/flow a concurrent
-// goroutine-per-block executor, internal/memmodel the finite-memory tiling
-// model, and internal/experiments the harnesses that regenerate every table
-// and figure of the paper's evaluation.
+// compiler, internal/sim the cycle engines and the batch runner,
+// internal/flow a concurrent goroutine-per-block executor,
+// internal/memmodel the finite-memory tiling model, and
+// internal/experiments the harnesses that regenerate every table and figure
+// of the paper's evaluation.
 package sam
 
 import (
@@ -54,11 +67,27 @@ type Format = lang.Format
 // LevelFormat is the storage format of one fibertree level.
 type LevelFormat = fiber.Format
 
-// Options configures the cycle simulator.
+// Options configures the cycle simulator, including engine selection
+// (Options.Engine) and the SimulateBatch worker pool (Options.Workers).
 type Options = sim.Options
 
 // Result carries simulated cycles, the output tensor, and stream statistics.
 type Result = sim.Result
+
+// EngineKind selects a graph executor in Options.Engine.
+type EngineKind = sim.EngineKind
+
+// The available engines: the default event-driven ready-set scheduler, the
+// naive tick-all reference loop, and the goroutine-per-block functional
+// executor.
+const (
+	EngineEvent = sim.EngineEvent
+	EngineNaive = sim.EngineNaive
+	EngineFlow  = sim.EngineFlow
+)
+
+// Job is one graph + input binding for SimulateBatch.
+type Job = sim.Job
 
 // Level storage formats (paper Sections 3.1 and 4.3).
 const (
@@ -114,10 +143,20 @@ func CompileBitvector(expr string, formats Formats) (*Graph, error) {
 	return custard.CompileBitvector(e, formats)
 }
 
-// Simulate executes a compiled graph on the cycle-approximate engine
-// (paper Section 6) and assembles the output tensor.
+// Simulate executes a compiled graph on the engine opt.Engine selects
+// (paper Section 6; the event-driven cycle-accurate scheduler by default)
+// and assembles the output tensor.
 func Simulate(g *Graph, inputs Inputs, opt Options) (*Result, error) {
 	return sim.Run(g, inputs, opt)
+}
+
+// SimulateBatch executes many independent graph + input bindings
+// concurrently over a worker pool (opt.Workers goroutines, GOMAXPROCS by
+// default) and returns results in job order. Each job runs on its own net
+// with nothing shared, so results are identical to sequential Simulate
+// calls with the same Options.
+func SimulateBatch(jobs []Job, opt Options) ([]*Result, error) {
+	return sim.RunBatch(jobs, opt)
 }
 
 // Evaluate computes the statement directly on dense data — the gold

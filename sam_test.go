@@ -103,3 +103,74 @@ func TestFacadeErrors(t *testing.T) {
 		t.Error("missing inputs not surfaced")
 	}
 }
+
+// TestSimulateBatchFigure12 runs the Figure 12 six-permutation SpM*SpM
+// study concurrently through SimulateBatch and checks the results are
+// identical to sequential Simulate calls.
+func TestSimulateBatchFigure12(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := RandomTensor("B", rng, 300, 60, 25)
+	c := RandomTensor("C", rng, 300, 25, 60)
+	inputs := Inputs{"B": b, "C": c}
+	var jobs []Job
+	var seq []*Result
+	for _, order := range [][]string{
+		{"i", "j", "k"}, {"j", "i", "k"}, {"i", "k", "j"}, {"j", "k", "i"}, {"k", "i", "j"}, {"k", "j", "i"},
+	} {
+		g, err := Compile("X(i,j) = B(i,k) * C(k,j)", nil, Schedule{LoopOrder: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(g, inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Name: order[0] + order[1] + order[2], Graph: g, Inputs: inputs})
+		seq = append(seq, res)
+	}
+	batch, err := SimulateBatch(jobs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if batch[i].Cycles != seq[i].Cycles {
+			t.Errorf("%s: batch cycles %d, sequential %d", jobs[i].Name, batch[i].Cycles, seq[i].Cycles)
+		}
+		if err := Equal(batch[i].Output, seq[i].Output, 0); err != nil {
+			t.Errorf("%s: batch output differs: %v", jobs[i].Name, err)
+		}
+	}
+}
+
+// TestFacadeEngines checks engine selection through the public Options.
+func TestFacadeEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := RandomTensor("B", rng, 120, 40, 30)
+	c := RandomTensor("c", rng, 20, 30)
+	inputs := Inputs{"B": b, "c": c}
+	g, err := Compile("x(i) = B(i,j) * c(j)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := Simulate(g, inputs, Options{Engine: EngineEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Simulate(g, inputs, Options{Engine: EngineNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if event.Cycles != naive.Cycles {
+		t.Errorf("engines disagree on cycles: event %d, naive %d", event.Cycles, naive.Cycles)
+	}
+	flow, err := Simulate(g, inputs, Options{Engine: EngineFlow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal(flow.Output, event.Output, 1e-9); err != nil {
+		t.Errorf("flow engine output differs: %v", err)
+	}
+	if _, err := Simulate(g, inputs, Options{Engine: "warp"}); err == nil {
+		t.Error("unknown engine not surfaced")
+	}
+}
