@@ -9,16 +9,19 @@
 //	sambench -exp table1,fig13a -scale 0.5
 //	sambench -exp engines -json > BENCH.json   # machine-readable results
 //	sambench -engine naive   # re-run the evaluation on the tick-all loop
+//	sambench -exp parallel -par 1,2,4,8,16     # lane-scaling study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel, engines.
+// fig15, pointlevel, engines, parallel.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,7 +29,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -40,22 +43,38 @@ type jsonResult struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments to run (see usage)")
-	seed := flag.Int64("seed", 1, "random seed for synthetic data")
-	scale := flag.Float64("scale", 1.0, "problem-size scale for fig11/fig12/engines (1.0 = paper size)")
-	engine := flag.String("engine", "", "simulation engine: event (default) or naive")
-	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain runs the tool against explicit argument and output streams so the
+// smoke tests can drive it in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sambench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "comma-separated experiments to run (see usage)")
+	seed := fs.Int64("seed", 1, "random seed for synthetic data")
+	scale := fs.Float64("scale", 1.0, "problem-size scale for fig11/fig12/engines/parallel (1.0 = paper size)")
+	engine := fs.String("engine", "", "simulation engine: event (default) or naive")
+	par := fs.String("par", "", "comma-separated lane counts for the parallel experiment (default 1,2,4,8,16)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *engine != "" {
 		// Experiments need cycle counts and stream statistics, which only
 		// the cycle-accurate engines produce.
 		kind := sim.EngineKind(*engine)
 		if kind != sim.EngineEvent && kind != sim.EngineNaive {
-			fmt.Fprintf(os.Stderr, "sambench: unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineNaive)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sambench: unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineNaive)
+			return 1
 		}
 		experiments.SimOptions.Engine = kind
+	}
+	lanes, err := parseLanes(*par)
+	if err != nil {
+		fmt.Fprintf(stderr, "sambench: %v\n", err)
+		return 1
 	}
 	names := all
 	if *exp != "all" {
@@ -64,10 +83,10 @@ func main() {
 	var records []jsonResult
 	for _, name := range names {
 		start := time.Now()
-		text, data, err := run(name, *seed, *scale)
+		text, data, err := run(name, *seed, *scale, lanes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sambench: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sambench: %s: %v\n", name, err)
+			return 1
 		}
 		elapsed := time.Since(start)
 		if *asJSON {
@@ -81,22 +100,39 @@ func main() {
 			})
 			continue
 		}
-		fmt.Println(text)
-		fmt.Printf("[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
+		fmt.Fprintln(stdout, text)
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, elapsed.Round(time.Millisecond))
 	}
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(records); err != nil {
-			fmt.Fprintf(os.Stderr, "sambench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sambench: %v\n", err)
+			return 1
 		}
 	}
+	return 0
+}
+
+// parseLanes reads the -par lane list.
+func parseLanes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var lanes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -par lane count %q", part)
+		}
+		lanes = append(lanes, n)
+	}
+	return lanes, nil
 }
 
 // run executes one experiment, returning both the rendered table and the
 // structured rows for -json.
-func run(name string, seed int64, scale float64) (string, any, error) {
+func run(name string, seed int64, scale float64, lanes []int) (string, any, error) {
 	switch name {
 	case "table1":
 		rows, err := experiments.Table1()
@@ -162,6 +198,12 @@ func run(name string, seed int64, scale float64) (string, any, error) {
 			return "", nil, err
 		}
 		return experiments.RenderEngineComparison(pts), pts, nil
+	case "parallel":
+		pts, err := experiments.ParallelSpeedup(seed, scale, lanes)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderParallel(pts), pts, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSmokeParallelJSON runs the parallel experiment at a tiny scale and
+// golden-checks the -json output shape.
+func TestSmokeParallelJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-exp", "parallel", "-scale", "0.05", "-par", "1,2,4", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var records []jsonResult
+	if err := json.Unmarshal(stdout.Bytes(), &records); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(records) != 1 || records[0].Experiment != "parallel" {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].Engine != "event" || records[0].Scale != 0.05 {
+		t.Errorf("record metadata = %+v", records[0])
+	}
+	rows, ok := records[0].Data.([]any)
+	if !ok {
+		t.Fatalf("data is %T, want a row list", records[0].Data)
+	}
+	// 3 kernels x 3 lane counts.
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	row, ok := rows[0].(map[string]any)
+	if !ok {
+		t.Fatalf("row is %T", rows[0])
+	}
+	for _, field := range []string{"kernel", "lanes", "cycles", "speedup_vs_1"} {
+		if _, ok := row[field]; !ok {
+			t.Errorf("row missing field %q: %v", field, row)
+		}
+	}
+}
+
+// TestSmokeTextOutput checks the plain text rendering of a small experiment.
+func TestSmokeTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-exp", "fig12", "-scale", "0.05"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Figure 12", "Index order", "ijk", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeBadFlags checks the error paths exit nonzero without panicking.
+func TestSmokeBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nope"},
+		{"-engine", "warp"},
+		{"-par", "0"},
+		{"-par", "x"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestParseLanes(t *testing.T) {
+	lanes, err := parseLanes("1, 2,8")
+	if err != nil || len(lanes) != 3 || lanes[0] != 1 || lanes[1] != 2 || lanes[2] != 8 {
+		t.Errorf("parseLanes = %v, %v", lanes, err)
+	}
+	if lanes, err := parseLanes(""); err != nil || lanes != nil {
+		t.Errorf("empty spec = %v, %v", lanes, err)
+	}
+}

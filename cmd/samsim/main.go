@@ -6,11 +6,13 @@
 //
 //	samsim -expr 'X(i,j) = B(i,k) * C(k,j)' -order i,k,j -dims i=250,j=250,k=100 -density 0.05
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -mtx B=matrix.mtx -density 0.1
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -par 4     # 4-lane parallel graph
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -23,25 +25,41 @@ import (
 )
 
 func main() {
-	expr := flag.String("expr", "", "tensor index notation statement")
-	order := flag.String("order", "", "comma-separated loop order")
-	dimSpec := flag.String("dims", "", "variable dimensions, e.g. i=250,j=250,k=100 (default 100 each)")
-	density := flag.Float64("density", 0.05, "density of synthetic inputs")
-	mtx := flag.String("mtx", "", "bind matrices from Matrix Market files, e.g. B=path.mtx")
-	seed := flag.Int64("seed", 1, "random seed for synthetic inputs")
-	queueCap := flag.Int("queue", 0, "inter-block queue capacity (0 = unbounded)")
-	check := flag.Bool("check", true, "verify against the dense gold evaluator")
-	verbose := flag.Bool("v", false, "print the output tensor")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// realMain runs the tool against explicit argument and output streams so the
+// smoke tests can drive it in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("samsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	expr := fs.String("expr", "", "tensor index notation statement")
+	order := fs.String("order", "", "comma-separated loop order")
+	dimSpec := fs.String("dims", "", "variable dimensions, e.g. i=250,j=250,k=100 (default 100 each)")
+	density := fs.Float64("density", 0.05, "density of synthetic inputs")
+	mtx := fs.String("mtx", "", "bind matrices from Matrix Market files, e.g. B=path.mtx")
+	seed := fs.Int64("seed", 1, "random seed for synthetic inputs")
+	queueCap := fs.Int("queue", 0, "inter-block queue capacity (0 = unbounded)")
+	par := fs.Int("par", 0, "parallelize the graph across this many lanes (0/1 = sequential)")
+	engine := fs.String("engine", "", "simulation engine: event (default), naive, or flow")
+	check := fs.Bool("check", true, "verify against the dense gold evaluator")
+	verbose := fs.Bool("v", false, "print the output tensor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "samsim:", err)
+		return 1
+	}
 	if *expr == "" {
-		fmt.Fprintln(os.Stderr, "samsim: -expr is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "samsim: -expr is required")
+		fs.Usage()
+		return 2
 	}
 	e, err := lang.Parse(*expr)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	dims := map[string]int{}
@@ -49,11 +67,11 @@ func main() {
 		for _, part := range strings.Split(*dimSpec, ",") {
 			kv := strings.SplitN(part, "=", 2)
 			if len(kv) != 2 {
-				fatal(fmt.Errorf("bad dimension %q", part))
+				return fail(fmt.Errorf("bad dimension %q", part))
 			}
 			n, err := strconv.Atoi(kv[1])
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			dims[kv[0]] = n
 		}
@@ -70,16 +88,16 @@ func main() {
 		for _, part := range strings.Split(*mtx, ",") {
 			kv := strings.SplitN(part, "=", 2)
 			if len(kv) != 2 {
-				fatal(fmt.Errorf("bad -mtx binding %q", part))
+				return fail(fmt.Errorf("bad -mtx binding %q", part))
 			}
 			f, err := os.Open(kv[1])
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			m, err := tensor.ReadMatrixMarket(kv[0], f)
 			f.Close()
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			inputs[kv[0]] = m
 		}
@@ -108,43 +126,42 @@ func main() {
 		inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
 	}
 
-	sched := lang.Schedule{}
+	sched := lang.Schedule{Par: *par}
 	if *order != "" {
 		sched.LoopOrder = strings.Split(*order, ",")
 	}
 	g, err := custard.Compile(e, nil, sched)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap})
+	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: sim.EngineKind(*engine)})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("expression:  %s\n", e)
-	fmt.Printf("graph:       %d nodes, %d edges\n", len(g.Nodes), len(g.Edges))
+	fmt.Fprintf(stdout, "expression:  %s\n", e)
+	fmt.Fprintf(stdout, "graph:       %d nodes, %d edges\n", len(g.Nodes), len(g.Edges))
+	if *par > 1 {
+		fmt.Fprintf(stdout, "lanes:       %d\n", *par)
+	}
 	for name, t := range inputs {
-		fmt.Printf("input %-6s %v, %d nonzeros\n", name+":", t.Dims, t.NNZ())
+		fmt.Fprintf(stdout, "input %-6s %v, %d nonzeros\n", name+":", t.Dims, t.NNZ())
 	}
-	fmt.Printf("cycles:      %d\n", res.Cycles)
-	fmt.Printf("output:      %v, %d nonzeros\n", res.Output.Dims, res.Output.NNZ())
+	fmt.Fprintf(stdout, "cycles:      %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "output:      %v, %d nonzeros\n", res.Output.Dims, res.Output.NNZ())
 	if *check {
 		want, err := lang.Gold(e, inputs)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := tensor.Equal(res.Output, want, 1e-6); err != nil {
-			fatal(fmt.Errorf("gold check FAILED: %w", err))
+			return fail(fmt.Errorf("gold check FAILED: %w", err))
 		}
-		fmt.Println("gold check:  PASSED")
+		fmt.Fprintln(stdout, "gold check:  PASSED")
 	}
 	if *verbose {
 		for _, p := range res.Output.Pts {
-			fmt.Printf("  %v = %g\n", p.Crd, p.Val)
+			fmt.Fprintf(stdout, "  %v = %g\n", p.Crd, p.Val)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "samsim:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeSequential simulates a small statement end-to-end and checks the
+// report shape and the gold check.
+func TestSmokeSequential(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = B(i,j) * c(j)",
+		"-dims", "i=30,j=24", "-density", "0.2",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"expression:", "graph:", "cycles:", "output:", "gold check:  PASSED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeParallel runs the same statement across 4 lanes on each engine.
+func TestSmokeParallel(t *testing.T) {
+	for _, eng := range []string{"", "naive", "flow"} {
+		var stdout, stderr bytes.Buffer
+		code := realMain([]string{
+			"-expr", "x(i) = B(i,j) * c(j)",
+			"-dims", "i=30,j=24", "-density", "0.2",
+			"-par", "4", "-engine", eng,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("engine %q: exit %d, stderr: %s", eng, code, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{"lanes:       4", "gold check:  PASSED"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("engine %q: output missing %q:\n%s", eng, want, out)
+			}
+		}
+	}
+}
+
+// TestSmokeErrors checks the failure paths exit nonzero with a diagnostic.
+func TestSmokeErrors(t *testing.T) {
+	cases := [][]string{
+		{},                  // missing -expr
+		{"-expr", "x(i) ="}, // parse error
+		{"-expr", "x(i) = B(i,j)", "-order", "i"}, // incomplete loop order
+		{"-expr", "x(i) = B(i,j)", "-par", "-2"},  // bad lane count
+		{"-expr", "x(i) = B(i,j)", "-engine", "warp"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+		if stderr.Len() == 0 {
+			t.Errorf("args %v: no diagnostic on stderr", args)
+		}
+	}
+}

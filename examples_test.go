@@ -1,0 +1,43 @@
+package sam_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamples go-runs every example program so the examples cannot rot:
+// any non-zero exit (compile error, simulation failure, failed gold check)
+// fails the build. Examples run in parallel; each is capped at two minutes.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are full programs; skipped with -short")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found; run from the repository root")
+	}
+	for _, dir := range dirs {
+		if fi, err := os.Stat(filepath.Join(dir, "main.go")); err != nil || fi.IsDir() {
+			continue
+		}
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s failed after %v: %v\n%s", dir, time.Since(start).Round(time.Millisecond), err, out)
+			}
+		})
+	}
+}

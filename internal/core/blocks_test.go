@@ -487,8 +487,8 @@ func TestParallelizerSerializerRoundTrip(t *testing.T) {
 		laneOuts[i] = NewOut(laneQ[i])
 	}
 	out := n.NewQueue("out")
-	n.Add(NewParallelizer("par", in, laneOuts))
-	n.Add(NewSerializer("ser", laneQ, NewOut(out)))
+	n.Add(NewParallelizer("par", 0, in, laneOuts))
+	n.Add(NewSerializer("ser", 0, laneQ, NewOut(out)))
 	mustRun(t, n)
 
 	checkStream(t, "round trip", out.Drain(), src)

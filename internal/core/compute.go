@@ -161,6 +161,16 @@ func (b *ALU) Tick() bool {
 		b.inB.Pop()
 		b.out.Push(ta)
 		return true
+	case dataA && !ta.IsEmpty() && ta.V == 0 && (tb.IsStop() || tb.IsDone()):
+		// An orphan zero: a scalar reduction of a structurally empty group
+		// (a parallel lane that received no fibers) emitted an explicit zero
+		// the other operand has no counterpart for. Discard it, like the
+		// droppers and reducers do.
+		b.inA.Pop()
+		return true
+	case dataB && !tb.IsEmpty() && tb.V == 0 && (ta.IsStop() || ta.IsDone()):
+		b.inB.Pop()
+		return true
 	case ta.IsDone() && tb.IsDone():
 		b.inA.Pop()
 		b.inB.Pop()

@@ -356,8 +356,8 @@ func TestQuickParallelizerRoundTrip(t *testing.T) {
 			laneOuts[i] = NewOut(laneQ[i])
 		}
 		out := n.NewQueue("out")
-		n.Add(NewParallelizer("par", in, laneOuts))
-		n.Add(NewSerializer("ser", laneQ, NewOut(out)))
+		n.Add(NewParallelizer("par", 0, in, laneOuts))
+		n.Add(NewSerializer("ser", 0, laneQ, NewOut(out)))
 		if _, err := n.Run(100000); err != nil {
 			return false
 		}

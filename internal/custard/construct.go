@@ -25,10 +25,13 @@ func (c *compiler) construct(val portRef, valVars []string) error {
 	// intersection inside it can leave ineffectual coordinates, and also
 	// when a scalar reducer sits downstream of any intersection: empty
 	// intersections at outer levels reach the reducer as structurally empty
-	// groups whose explicit zeros must be filtered before writing.
-	if m > 0 && (c.intersectInside(outLoop[m-1]) || (c.hasScalarRed && c.anyIntersect())) {
+	// groups whose explicit zeros must be filtered before writing. A
+	// parallel join forces the dropper whenever a scalar reducer exists,
+	// because lanes that received no elements emit orphan zeros the joined
+	// value stream carries through to this point.
+	if m > 0 && (c.forceValDrop || c.intersectInside(outLoop[m-1]) || (c.hasScalarRed && c.anyIntersect())) {
 		v := outLoop[m-1]
-		d := c.g.AddNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + v + " vals", DropVal: true})
+		d := c.addNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + v + " vals", DropVal: true})
 		c.connect(c.varCrd[v], d, "outer")
 		c.connect(val, d, "val")
 		c.varCrd[v] = portRef{d, "outer"}
@@ -40,7 +43,7 @@ func (c *compiler) construct(val portRef, valVars []string) error {
 			continue
 		}
 		inner := outLoop[q+1]
-		d := c.g.AddNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + v})
+		d := c.addNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + v})
 		c.connect(c.varCrd[v], d, "outer")
 		c.connect(c.varCrd[inner], d, "inner")
 		c.varCrd[v] = portRef{d, "outer"}
@@ -69,7 +72,7 @@ func (c *compiler) construct(val portRef, valVars []string) error {
 		if f == fiber.Dense || f == fiber.Bitvector {
 			return fmt.Errorf("custard: output level format %v not supported by the level writer; use compressed or linked-list", f)
 		}
-		w := c.g.AddNode(&graph.Node{
+		w := c.addNode(&graph.Node{
 			Kind: graph.CrdWriter, Label: fmt.Sprintf("LevelWriter %s.%s", outName, v),
 			Tensor: outName, OutLevel: q, Format: f,
 		})
@@ -81,7 +84,7 @@ func (c *compiler) construct(val portRef, valVars []string) error {
 		}
 		c.g.OutputDims = append(c.g.OutputDims, dim)
 	}
-	vw := c.g.AddNode(&graph.Node{
+	vw := c.addNode(&graph.Node{
 		Kind: graph.ValsWriter, Label: "LevelWriter " + outName + " vals",
 		Tensor: outName,
 	})

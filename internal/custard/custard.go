@@ -32,6 +32,9 @@ func Compile(e *lang.Einsum, formats lang.Formats, sched lang.Schedule) (*graph.
 	if err != nil {
 		return nil, err
 	}
+	if sched.Par < 0 {
+		return nil, fmt.Errorf("custard: Schedule.Par = %d, want >= 0", sched.Par)
+	}
 	c := &compiler{
 		e:       e,
 		formats: formats,
@@ -41,6 +44,9 @@ func Compile(e *lang.Einsum, formats lang.Formats, sched lang.Schedule) (*graph.
 		g:       &graph.Graph{Name: e.LHS.Tensor, Expr: e.String()},
 		varCrd:  map[string]portRef{},
 		varInt:  map[string]bool{},
+	}
+	if sched.Par > 1 && len(loop) > 0 {
+		c.par = sched.Par
 	}
 	for i, v := range loop {
 		c.pos[v] = i
@@ -105,6 +111,15 @@ type compiler struct {
 	varCrd       map[string]portRef
 	varInt       map[string]bool // variable merged with an intersection
 	hasScalarRed bool            // a scalar reducer sits in the value chain
+
+	// Parallelization state (Schedule.Par, paper Section 4.4). par is the
+	// lane count (0 or 1 compiles sequentially); laneTag suffixes node
+	// labels of per-lane sub-compilers; forceValDrop makes construct always
+	// pair the innermost coordinate stream with the value stream through a
+	// value-mode dropper, which absorbs the orphan zeros empty lanes emit.
+	par          int
+	laneTag      string
+	forceValDrop bool
 }
 
 func (c *compiler) run() error {
@@ -112,6 +127,9 @@ func (c *compiler) run() error {
 		return err
 	}
 	c.tree = c.annotate()
+	if c.par > 1 {
+		return c.runPar()
+	}
 	// Phase 1: iteration and merging, outermost variable first.
 	for _, v := range c.loop {
 		scope := c.scopeOf(v)
@@ -123,19 +141,7 @@ func (c *compiler) run() error {
 			return fmt.Errorf("custard: variable %q has no operand to iterate", v)
 		}
 		c.varCrd[v] = crd
-		// Broadcast: every operand in scope missing v repeats its current
-		// reference stream over v's coordinates (paper Definition 3.4).
-		for _, op := range operandsUnder(scope) {
-			if hasVar(op.access, v) {
-				continue
-			}
-			rep := c.g.AddNode(&graph.Node{Kind: graph.Repeat, Label: "Repeater " + op.uname + " over " + v})
-			c.connect(crd, rep, "crd")
-			c.connect(op.ref, rep, "ref")
-			op.ref = portRef{rep, "ref"}
-			op.depth++
-			op.path = append(op.path, v)
-		}
+		c.broadcast(scope, v)
 	}
 	// Phase 2: computation.
 	val, valVars, err := c.lowerVal(c.tree)
@@ -144,6 +150,32 @@ func (c *compiler) run() error {
 	}
 	// Phase 3: construction.
 	return c.construct(val, valVars)
+}
+
+// broadcast repeats every operand in scope missing v over v's coordinate
+// stream (paper Definition 3.4).
+func (c *compiler) broadcast(scope node, v string) {
+	crd := c.varCrd[v]
+	for _, op := range operandsUnder(scope) {
+		if hasVar(op.access, v) {
+			continue
+		}
+		rep := c.addNode(&graph.Node{Kind: graph.Repeat, Label: "Repeater " + op.uname + " over " + v})
+		c.connect(crd, rep, "crd")
+		c.connect(op.ref, rep, "ref")
+		op.ref = portRef{rep, "ref"}
+		op.depth++
+		op.path = append(op.path, v)
+	}
+}
+
+// addNode adds a node, tagging its label with the lane of a per-lane
+// sub-compiler.
+func (c *compiler) addNode(n *graph.Node) *graph.Node {
+	if c.laneTag != "" {
+		n.Label += c.laneTag
+	}
+	return c.g.AddNode(n)
 }
 
 // buildOperands collects accesses, derives mode orders from the loop order,
@@ -185,7 +217,7 @@ func (c *compiler) buildOperands() error {
 			}
 		}
 		op.fmts = append([]fiber.Format(nil), f.Levels...)
-		root := c.g.AddNode(&graph.Node{Kind: graph.Root, Label: "Root " + op.uname})
+		root := c.addNode(&graph.Node{Kind: graph.Root, Label: "Root " + op.uname})
 		op.ref = portRef{root, "ref"}
 		c.ops = append(c.ops, op)
 		c.g.Bindings = append(c.g.Bindings, graph.Binding{

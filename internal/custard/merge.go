@@ -117,7 +117,7 @@ func (c *compiler) scan(op *operand, v string) (mergeBranch, error) {
 	if f == fiber.Bitvector {
 		return mergeBranch{}, fmt.Errorf("custard: bitvector level on %s requires an elementwise bitvector pipeline (see CompileBitvector)", op.uname)
 	}
-	sc := c.g.AddNode(&graph.Node{
+	sc := c.addNode(&graph.Node{
 		Kind: graph.Scanner, Label: fmt.Sprintf("Scanner %s.%s", op.uname, v),
 		Tensor: op.uname, Level: lvl, Format: f,
 	})
@@ -145,7 +145,7 @@ func (c *compiler) materialize(mb *mergeBuild, v string) (mergeBranch, error) {
 			mb.branches[0].lazy.fmts[mb.branches[0].lazy.nextScan] == fiber.Compressed &&
 			mb.branches[1].lazy.fmts[mb.branches[1].lazy.nextScan] == fiber.Compressed {
 			a, b := mb.branches[0].lazy, mb.branches[1].lazy
-			g := c.g.AddNode(&graph.Node{
+			g := c.addNode(&graph.Node{
 				Kind: graph.GallopIntersect, Label: fmt.Sprintf("GallopIntersect %s.%s ∩ %s.%s", a.uname, v, b.uname, v),
 				Tensor: a.uname, Level: a.nextScan, TensorB: b.uname, LevelB: b.nextScan,
 			})
@@ -175,7 +175,7 @@ func (c *compiler) materialize(mb *mergeBuild, v string) (mergeBranch, error) {
 					return mergeBranch{}, err
 				}
 				for _, op := range dense {
-					loc := c.g.AddNode(&graph.Node{
+					loc := c.addNode(&graph.Node{
 						Kind: graph.Locate, Label: fmt.Sprintf("Locator %s.%s", op.uname, v),
 						Tensor: op.uname, Level: op.nextScan, Format: op.fmts[op.nextScan],
 					})
@@ -222,7 +222,7 @@ func (c *compiler) materialize(mb *mergeBuild, v string) (mergeBranch, error) {
 		kind = graph.Union
 		label = "Union " + v
 	}
-	m := c.g.AddNode(&graph.Node{Kind: kind, Label: label, Ways: len(pairs)})
+	m := c.addNode(&graph.Node{Kind: kind, Label: label, Ways: len(pairs)})
 	out := mergeBranch{crd: portRef{m, "crd"}}
 	for i, p := range pairs {
 		c.connect(p.crd, m, fmt.Sprintf("crd%d", i))

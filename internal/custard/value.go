@@ -13,7 +13,7 @@ import (
 func (c *compiler) lowerVal(n node) (portRef, []string, error) {
 	switch x := n.(type) {
 	case *leafNode:
-		arr := c.g.AddNode(&graph.Node{
+		arr := c.addNode(&graph.Node{
 			Kind: graph.Array, Label: "Array " + x.op.uname + " vals",
 			Tensor: x.op.uname,
 		})
@@ -31,7 +31,7 @@ func (c *compiler) lowerVal(n node) (portRef, []string, error) {
 		if !equalStrings(lvars, rvars) {
 			return portRef{}, nil, fmt.Errorf("custard: operands of %v combine misaligned streams %v vs %v", x.op, lvars, rvars)
 		}
-		alu := c.g.AddNode(&graph.Node{Kind: graph.ALU, Label: "ALU " + x.op.String(), Op: x.op})
+		alu := c.addNode(&graph.Node{Kind: graph.ALU, Label: "ALU " + x.op.String(), Op: x.op})
 		c.connect(lv, alu, "a")
 		c.connect(rv, alu, "b")
 		return portRef{alu, "val"}, lvars, nil
@@ -55,13 +55,13 @@ func (c *compiler) lowerVal(n node) (portRef, []string, error) {
 		// dropper filters the explicit zeros the inner reduction emitted for
 		// empty groups before they enter the outer accumulation.
 		if _, chained := x.child.(*redNode); chained && nBelow == 0 && len(c.e.OutputVars()) > 0 {
-			d := c.g.AddNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + x.v + " zeros", DropVal: true})
+			d := c.addNode(&graph.Node{Kind: graph.CrdDrop, Label: "CrdDrop " + x.v + " zeros", DropVal: true})
 			c.connect(c.varCrd[x.v], d, "outer")
 			c.connect(cv, d, "val")
 			cv = portRef{d, "val"}
 		}
 
-		red := c.g.AddNode(&graph.Node{
+		red := c.addNode(&graph.Node{
 			Kind: graph.Reduce, Label: fmt.Sprintf("Reducer %s (n=%d)", x.v, nBelow),
 			RedN: nBelow,
 		})

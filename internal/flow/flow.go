@@ -452,25 +452,35 @@ func (r *Runner) ALU(name string, op func(a, b float64) float64, inA, inB Stream
 	out := make(chan token.Tok, chanBuf)
 	r.Go(func() {
 		defer close(out)
+		a := next(inA, name)
+		b := next(inB, name)
 		for {
-			a := next(inA, name)
-			b := next(inB, name)
 			dataA := a.IsVal() || a.IsEmpty()
 			dataB := b.IsVal() || b.IsEmpty()
 			switch {
+			// An orphan zero (a scalar reduction of a structurally empty
+			// group, e.g. a parallel lane that received no fibers) has no
+			// counterpart on the other operand: discard it, like the
+			// droppers and reducers do.
+			case a.IsVal() && a.V == 0 && (b.IsStop() || b.IsDone()):
+				a = next(inA, name)
+				continue
+			case b.IsVal() && b.V == 0 && (a.IsStop() || a.IsDone()):
+				b = next(inB, name)
+				continue
 			case dataA && dataB:
 				if a.IsEmpty() && b.IsEmpty() {
 					out <- token.N()
-					continue
+				} else {
+					va, vb := 0.0, 0.0
+					if a.IsVal() {
+						va = a.V
+					}
+					if b.IsVal() {
+						vb = b.V
+					}
+					out <- token.V(op(va, vb))
 				}
-				va, vb := 0.0, 0.0
-				if a.IsVal() {
-					va = a.V
-				}
-				if b.IsVal() {
-					vb = b.V
-				}
-				out <- token.V(op(va, vb))
 			case a.IsStop() && b.IsStop() && a.StopLevel() == b.StopLevel():
 				out <- a
 			case a.IsDone() && b.IsDone():
@@ -479,6 +489,8 @@ func (r *Runner) ALU(name string, op func(a, b float64) float64, inA, inB Stream
 			default:
 				fail("%s: misaligned operands %v vs %v", name, a, b)
 			}
+			a = next(inA, name)
+			b = next(inB, name)
 		}
 	})
 	return out

@@ -1,0 +1,504 @@
+package flow
+
+import (
+	"sam/internal/core"
+	"sam/internal/token"
+)
+
+// This file implements the lane-parallelism blocks of paper Section 4.4 as
+// goroutines: the parallelizer fork, the round-robin joiners, and the
+// cross-lane reduction combiner. The fork/join state machines are written
+// independently from internal/core; the combiner's pure stream codec
+// (decode partials, add point-wise, re-encode) is shared via
+// core.MergeLaneStreams since it is not a cycle-model state machine.
+
+// Parallelizer forks a stream across lanes. level < 0 advances the lane
+// after every data token (element granularity); level >= 0 advances after
+// each stop of exactly level. Higher stops and done replicate to every lane.
+func (r *Runner) Parallelizer(name string, level int, in Stream, lanes int) []Stream {
+	outs := make([]chan token.Tok, lanes)
+	ret := make([]Stream, lanes)
+	for i := range outs {
+		outs[i] = make(chan token.Tok, chanBuf)
+		ret[i] = outs[i]
+	}
+	r.Go(func() {
+		for _, o := range outs {
+			defer close(o)
+		}
+		lane := 0
+		for t := range in {
+			switch t.Kind {
+			case token.Val, token.Empty:
+				outs[lane] <- t
+				if level < 0 {
+					lane = (lane + 1) % lanes
+				}
+			case token.Stop:
+				switch {
+				case level >= 0 && t.StopLevel() < level:
+					outs[lane] <- t
+				case level >= 0 && t.StopLevel() == level:
+					outs[lane] <- t
+					lane = (lane + 1) % lanes
+				default:
+					for _, o := range outs {
+						o <- t
+					}
+					lane = 0
+				}
+			case token.Done:
+				for _, o := range outs {
+					o <- t
+				}
+				return
+			}
+		}
+	})
+	return ret
+}
+
+// laneHeads caches one lookahead token per lane stream.
+type laneHeads struct {
+	ins  []Stream
+	head []token.Tok
+	have []bool
+	name string
+}
+
+func newLaneHeads(name string, ins []Stream) *laneHeads {
+	return &laneHeads{ins: ins, head: make([]token.Tok, len(ins)), have: make([]bool, len(ins)), name: name}
+}
+
+func (h *laneHeads) peek(l int) token.Tok {
+	if !h.have[l] {
+		h.head[l] = next(h.ins[l], h.name)
+		h.have[l] = true
+	}
+	return h.head[l]
+}
+
+func (h *laneHeads) pop(l int) token.Tok {
+	t := h.peek(l)
+	h.have[l] = false
+	return t
+}
+
+// allClosed reports whether every lane's head is a stop above the switch
+// level (level >= 0) or any stop (level < 0).
+func (h *laneHeads) allClosed(level int) bool {
+	for l := range h.ins {
+		t := h.peek(l)
+		if !t.IsStop() || (level >= 0 && t.StopLevel() <= level) {
+			return false
+		}
+	}
+	return true
+}
+
+// DrivenSerializer joins lane streams round-robin, rotated by per-lane
+// copies of the forked outermost coordinate stream: one chunk per driver
+// data token, so empty chunks and chunkless lanes cannot be confused. See
+// core.NewDrivenSerializer.
+func (r *Runner) DrivenSerializer(name string, level int, ins, drv []Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		h := newLaneHeads(name, ins)
+		hd := newLaneHeads(name+" drv", drv)
+		lanes := len(ins)
+		noMore := func() bool {
+			for l := range drv {
+				if t := hd.peek(l); t.IsVal() || t.IsEmpty() {
+					return false
+				}
+			}
+			return true
+		}
+		lane := 0
+		for {
+			d := hd.peek(lane)
+			switch {
+			case d.IsVal() || d.IsEmpty():
+				hd.pop(lane)
+			chunk:
+				for {
+					t := h.peek(lane)
+					switch {
+					case t.IsVal() || t.IsEmpty():
+						out <- h.pop(lane)
+					case t.IsStop() && t.StopLevel() < level:
+						out <- h.pop(lane)
+					case t.IsStop() && t.StopLevel() == level:
+						out <- h.pop(lane)
+						break chunk
+					case t.IsStop():
+						if !noMore() {
+							out <- token.S(level)
+						}
+						break chunk
+					default:
+						fail("%s: lane stream ended mid-chunk", name)
+					}
+				}
+				lane = (lane + 1) % lanes
+			case d.IsStop():
+				if !noMore() {
+					lane = (lane + 1) % lanes
+					continue
+				}
+				for l := range drv {
+					if x := hd.pop(l); !x.IsStop() || x.StopLevel() != d.StopLevel() {
+						fail("%s: drivers disagree on closing stop: %v vs %v", name, d, x)
+					}
+				}
+				lvl := -1
+				for l := range ins {
+					x := h.pop(l)
+					if !x.IsStop() || x.StopLevel() <= level || (lvl >= 0 && x.StopLevel() != lvl) {
+						fail("%s: expected closing stop, lane holds %v", name, x)
+					}
+					lvl = x.StopLevel()
+				}
+				out <- token.S(lvl)
+				for l := range drv {
+					if x := hd.pop(l); !x.IsDone() {
+						fail("%s: driver misaligned at done: %v", name, x)
+					}
+					if x := h.pop(l); !x.IsDone() {
+						fail("%s: lanes misaligned at done: %v", name, x)
+					}
+				}
+				out <- token.D()
+				return
+			default:
+				fail("%s: driver stream ended before its closing stop", name)
+			}
+		}
+	})
+	return out
+}
+
+// DrivenPairSerializer is DrivenSerializer over paired (coordinate, value)
+// lane streams, forwarding orphan zero values on the value output. See
+// core.NewDrivenPairSerializer.
+func (r *Runner) DrivenPairSerializer(name string, level int, inCrd, inVal, drv []Stream) (Stream, Stream) {
+	outCrd := make(chan token.Tok, chanBuf)
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outCrd)
+		defer close(outVal)
+		hc := newLaneHeads(name+" crd", inCrd)
+		hv := newLaneHeads(name+" val", inVal)
+		hd := newLaneHeads(name+" drv", drv)
+		lanes := len(inCrd)
+		noMore := func() bool {
+			for l := range drv {
+				if t := hd.peek(l); t.IsVal() || t.IsEmpty() {
+					return false
+				}
+			}
+			return true
+		}
+		// drainOrphans forwards the zero values a lane holds while its
+		// coordinate head is a stop or done.
+		drainOrphans := func(l int) {
+			for {
+				v := hv.peek(l)
+				if !v.IsVal() && !v.IsEmpty() {
+					return
+				}
+				if v.IsVal() && v.V != 0 {
+					fail("%s: nonzero orphan value %v in lane %d", name, v, l)
+				}
+				outVal <- hv.pop(l)
+			}
+		}
+		lane := 0
+		for {
+			d := hd.peek(lane)
+			switch {
+			case d.IsVal() || d.IsEmpty():
+				hd.pop(lane)
+			chunk:
+				for {
+					tc := hc.peek(lane)
+					switch {
+					case tc.IsVal() || tc.IsEmpty():
+						tv := hv.peek(lane)
+						if !tv.IsVal() && !tv.IsEmpty() {
+							fail("%s: value stream misaligned: crd %v vs val %v", name, tc, tv)
+						}
+						outCrd <- hc.pop(lane)
+						outVal <- hv.pop(lane)
+					case tc.IsStop() && tc.StopLevel() <= level:
+						drainOrphans(lane)
+						if tv := hv.pop(lane); !tv.IsStop() || tv.StopLevel() != tc.StopLevel() {
+							fail("%s: misaligned stops %v vs %v", name, tc, tv)
+						}
+						outCrd <- hc.pop(lane)
+						outVal <- tc
+						if tc.StopLevel() == level {
+							break chunk
+						}
+					case tc.IsStop():
+						drainOrphans(lane)
+						if !noMore() {
+							outCrd <- token.S(level)
+							outVal <- token.S(level)
+						}
+						break chunk
+					default:
+						fail("%s: lane stream ended mid-chunk", name)
+					}
+				}
+				lane = (lane + 1) % lanes
+			case d.IsStop():
+				if !noMore() {
+					lane = (lane + 1) % lanes
+					continue
+				}
+				for l := range drv {
+					if x := hd.pop(l); !x.IsStop() || x.StopLevel() != d.StopLevel() {
+						fail("%s: drivers disagree on closing stop: %v vs %v", name, d, x)
+					}
+				}
+				lvl := -1
+				for l := range inCrd {
+					drainOrphans(l)
+					x := hc.pop(l)
+					if !x.IsStop() || x.StopLevel() <= level || (lvl >= 0 && x.StopLevel() != lvl) {
+						fail("%s: expected closing stop, lane holds %v", name, x)
+					}
+					lvl = x.StopLevel()
+					if v := hv.pop(l); !v.IsStop() || v.StopLevel() != x.StopLevel() {
+						fail("%s: value stream misaligned at closing stop: %v", name, v)
+					}
+				}
+				outCrd <- token.S(lvl)
+				outVal <- token.S(lvl)
+				for l := range inCrd {
+					if x := hd.pop(l); !x.IsDone() {
+						fail("%s: driver misaligned at done: %v", name, x)
+					}
+					if x := hc.pop(l); !x.IsDone() {
+						fail("%s: lanes misaligned at done: %v", name, x)
+					}
+					if x := hv.pop(l); !x.IsDone() {
+						fail("%s: value stream misaligned at done: %v", name, x)
+					}
+				}
+				outCrd <- token.D()
+				outVal <- token.D()
+				return
+			default:
+				fail("%s: driver stream ended before its closing stop", name)
+			}
+		}
+	})
+	return outCrd, outVal
+}
+
+// Serializer joins lane streams round-robin; see core.Serializer for the
+// chunk-boundary and closing-stop rules.
+func (r *Runner) Serializer(name string, level int, ins []Stream) Stream {
+	out := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(out)
+		h := newLaneHeads(name, ins)
+		lanes := len(ins)
+		lane := 0
+		for {
+			t := h.peek(lane)
+			switch t.Kind {
+			case token.Val, token.Empty:
+				out <- h.pop(lane)
+				if level < 0 {
+					lane = (lane + 1) % lanes
+				}
+			case token.Stop:
+				lvl := t.StopLevel()
+				switch {
+				case level >= 0 && lvl < level:
+					out <- h.pop(lane)
+				case level >= 0 && lvl == level:
+					out <- h.pop(lane)
+					lane = (lane + 1) % lanes
+				case h.allClosed(level):
+					for l := range ins {
+						if x := h.pop(l); !x.IsStop() || x.StopLevel() != lvl {
+							fail("%s: lanes disagree on closing stop: %v vs %v", name, t, x)
+						}
+					}
+					out <- t
+					lane = 0
+				case level < 0:
+					fail("%s: lanes misaligned at stop %v", name, t)
+				default:
+					out <- token.S(level)
+					lane = (lane + 1) % lanes
+				}
+			case token.Done:
+				for l := range ins {
+					if x := h.pop(l); !x.IsDone() {
+						fail("%s: lanes misaligned at done: %v", name, x)
+					}
+				}
+				out <- token.D()
+				return
+			}
+		}
+	})
+	return out
+}
+
+// PairSerializer joins (coordinate, value) lane stream pairs round-robin,
+// keyed on the coordinate streams; orphan zero values (a value whose
+// coordinate lane already holds a stop) pass through on the value output.
+// See core.PairSerializer.
+func (r *Runner) PairSerializer(name string, level int, inCrd, inVal []Stream) (Stream, Stream) {
+	outCrd := make(chan token.Tok, chanBuf)
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		defer close(outCrd)
+		defer close(outVal)
+		hc := newLaneHeads(name+" crd", inCrd)
+		hv := newLaneHeads(name+" val", inVal)
+		lanes := len(inCrd)
+		lane := 0
+		drainOrphans := func() {
+			for l := range inCrd {
+				c := hc.peek(l)
+				if !c.IsStop() && !c.IsDone() {
+					continue
+				}
+				for {
+					v := hv.peek(l)
+					if !v.IsVal() && !v.IsEmpty() {
+						break
+					}
+					if v.IsVal() && v.V != 0 {
+						fail("%s: nonzero orphan value %v in lane %d", name, v, l)
+					}
+					outVal <- hv.pop(l)
+				}
+			}
+		}
+		for {
+			tc := hc.peek(lane)
+			switch tc.Kind {
+			case token.Val, token.Empty:
+				tv := hv.peek(lane)
+				if !tv.IsVal() && !tv.IsEmpty() {
+					fail("%s: value stream misaligned: crd %v vs val %v", name, tc, tv)
+				}
+				outCrd <- hc.pop(lane)
+				outVal <- hv.pop(lane)
+				if level < 0 {
+					lane = (lane + 1) % lanes
+				}
+			case token.Stop:
+				lvl := tc.StopLevel()
+				if level >= 0 && lvl <= level {
+					tv := hv.peek(lane)
+					if tv.IsVal() || tv.IsEmpty() {
+						if tv.IsVal() && tv.V != 0 {
+							fail("%s: nonzero orphan value %v at stop %v", name, tv, tc)
+						}
+						outVal <- hv.pop(lane)
+						continue
+					}
+					if !tv.IsStop() || tv.StopLevel() != lvl {
+						fail("%s: misaligned stops %v vs %v", name, tc, tv)
+					}
+					outCrd <- hc.pop(lane)
+					outVal <- hv.pop(lane)
+					if lvl == level {
+						lane = (lane + 1) % lanes
+					}
+					continue
+				}
+				if !hc.allClosed(level) {
+					if level < 0 {
+						fail("%s: lanes misaligned at stop %v", name, tc)
+					}
+					outCrd <- token.S(level)
+					outVal <- token.S(level)
+					lane = (lane + 1) % lanes
+					continue
+				}
+				drainOrphans()
+				for l := range inCrd {
+					if x := hc.pop(l); x.StopLevel() != lvl {
+						fail("%s: lanes disagree on closing stop: %v vs %v", name, tc, x)
+					}
+					if x := hv.pop(l); !x.IsStop() || x.StopLevel() != lvl {
+						fail("%s: value stream misaligned at closing stop: %v", name, x)
+					}
+				}
+				outCrd <- tc
+				outVal <- tc
+				lane = 0
+			case token.Done:
+				for l := range inCrd {
+					if x := hc.peek(l); !x.IsDone() {
+						fail("%s: lanes misaligned at done: %v", name, x)
+					}
+				}
+				drainOrphans()
+				for l := range inCrd {
+					hc.pop(l)
+					if x := hv.pop(l); !x.IsDone() {
+						fail("%s: value stream misaligned at done: %v", name, x)
+					}
+				}
+				outCrd <- token.D()
+				outVal <- token.D()
+				return
+			}
+		}
+	})
+	return outCrd, outVal
+}
+
+// LaneCombine merges two lanes' output stream bundles (m coordinate streams
+// plus values per lane) by adding values at matching coordinate points.
+func (r *Runner) LaneCombine(name string, m int, crdA []Stream, valA Stream, crdB []Stream, valB Stream) ([]Stream, Stream) {
+	outCrd := make([]chan token.Tok, m)
+	retCrd := make([]Stream, m)
+	for q := range outCrd {
+		outCrd[q] = make(chan token.Tok, chanBuf)
+		retCrd[q] = outCrd[q]
+	}
+	outVal := make(chan token.Tok, chanBuf)
+	r.Go(func() {
+		for _, o := range outCrd {
+			defer close(o)
+		}
+		defer close(outVal)
+		collectAll := func(ss []Stream) []token.Stream {
+			out := make([]token.Stream, len(ss))
+			for i, s := range ss {
+				out[i] = Collect(s)
+			}
+			return out
+		}
+		ca := collectAll(crdA)
+		va := Collect(valA)
+		cb := collectAll(crdB)
+		vb := Collect(valB)
+		merged, err := core.MergeLaneStreams(m, ca, va, cb, vb)
+		if err != nil {
+			fail("%s: %v", name, err)
+		}
+		for q := 0; q < m; q++ {
+			for _, t := range merged[q] {
+				outCrd[q] <- t
+			}
+		}
+		for _, t := range merged[m] {
+			outVal <- t
+		}
+	})
+	return retCrd, outVal
+}

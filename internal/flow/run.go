@@ -223,6 +223,81 @@ func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 				deliver(n, "outer", oo)
 				deliver(n, "inner", oi)
 			}
+		case graph.Parallelize:
+			inS, err := in(n, "in")
+			if err != nil {
+				return nil, err
+			}
+			for i, s := range r.Parallelizer(n.Label, n.Level, inS, n.Ways) {
+				deliver(n, fmt.Sprintf("out%d", i), s)
+			}
+		case graph.Serialize:
+			ins := make([]Stream, n.Ways)
+			for i := range ins {
+				if ins[i], err = in(n, fmt.Sprintf("in%d", i)); err != nil {
+					return nil, err
+				}
+			}
+			if n.Level < 0 {
+				deliver(n, "out", r.Serializer(n.Label, n.Level, ins))
+				break
+			}
+			drv, err := drvStreams(in, n)
+			if err != nil {
+				return nil, err
+			}
+			deliver(n, "out", r.DrivenSerializer(n.Label, n.Level, ins, drv))
+		case graph.SerializePair:
+			crds := make([]Stream, n.Ways)
+			vals := make([]Stream, n.Ways)
+			for i := 0; i < n.Ways; i++ {
+				if crds[i], err = in(n, fmt.Sprintf("crd%d", i)); err != nil {
+					return nil, err
+				}
+				if vals[i], err = in(n, fmt.Sprintf("val%d", i)); err != nil {
+					return nil, err
+				}
+			}
+			var oc, ov Stream
+			if n.Level < 0 {
+				oc, ov = r.PairSerializer(n.Label, n.Level, crds, vals)
+			} else {
+				drv, err := drvStreams(in, n)
+				if err != nil {
+					return nil, err
+				}
+				oc, ov = r.DrivenPairSerializer(n.Label, n.Level, crds, vals, drv)
+			}
+			deliver(n, "crd", oc)
+			deliver(n, "val", ov)
+		case graph.LaneReduce:
+			side := func(s int) ([]Stream, Stream, error) {
+				crds := make([]Stream, n.RedN)
+				for q := 0; q < n.RedN; q++ {
+					var err error
+					if crds[q], err = in(n, fmt.Sprintf("crd%d_%d", q, s)); err != nil {
+						return nil, nil, err
+					}
+				}
+				val, err := in(n, fmt.Sprintf("val%d", s))
+				if err != nil {
+					return nil, nil, err
+				}
+				return crds, val, nil
+			}
+			ca, va, err := side(0)
+			if err != nil {
+				return nil, err
+			}
+			cb, vb, err := side(1)
+			if err != nil {
+				return nil, err
+			}
+			oc, ov := r.LaneCombine(n.Label, n.RedN, ca, va, cb, vb)
+			for q, s := range oc {
+				deliver(n, fmt.Sprintf("crd%d", q), s)
+			}
+			deliver(n, "val", ov)
 		case graph.CrdWriter, graph.ValsWriter:
 			collect[n.ID] = n
 		default:
@@ -317,6 +392,18 @@ func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 		}
 	}
 	return out.Permute(g.OutputTensor, perm)
+}
+
+// drvStreams fetches a deep serializer's per-lane rotation-driver streams.
+func drvStreams(in func(*graph.Node, string) (Stream, error), n *graph.Node) ([]Stream, error) {
+	drv := make([]Stream, n.Ways)
+	for i := range drv {
+		var err error
+		if drv[i], err = in(n, fmt.Sprintf("drv%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return drv, nil
 }
 
 // topoOrder sorts nodes so producers precede consumers.

@@ -40,6 +40,8 @@ const (
 	VecValsWriter
 	Parallelize
 	Serialize
+	SerializePair
+	LaneReduce
 )
 
 func (k Kind) String() string {
@@ -90,6 +92,10 @@ func (k Kind) String() string {
 		return "parallelize"
 	case Serialize:
 		return "serialize"
+	case SerializePair:
+		return "serializepair"
+	case LaneReduce:
+		return "lanereduce"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -101,7 +107,11 @@ type Node struct {
 	Label string
 
 	// Tensor binding for scanners, arrays, locators, writers; the gallop
-	// intersecter binds a second tensor/level pair.
+	// intersecter binds a second tensor/level pair. Parallelizers and
+	// serializers reuse Level as the fork/join granularity: the lane
+	// advances after each stop token of exactly Level, or after each data
+	// token when Level is -1 (element granularity, used at the outermost
+	// loop level).
 	Tensor  string
 	Level   int
 	TensorB string
@@ -111,7 +121,7 @@ type Node struct {
 	Format fiber.Format
 
 	// Ways is the arity of intersecters/unioners and the lane count of
-	// parallelizers/serializers.
+	// parallelizers, serializers and lane combiners.
 	Ways int
 
 	// Op is the ALU operation.
@@ -247,6 +257,24 @@ func InPorts(n *Node) []string {
 		for i := range ps {
 			ps[i] = fmt.Sprintf("in%d", i)
 		}
+		return append(ps, drvPorts(n)...)
+	case SerializePair:
+		ps := make([]string, 0, 2*n.Ways)
+		for i := 0; i < n.Ways; i++ {
+			ps = append(ps, fmt.Sprintf("crd%d", i))
+		}
+		for i := 0; i < n.Ways; i++ {
+			ps = append(ps, fmt.Sprintf("val%d", i))
+		}
+		return append(ps, drvPorts(n)...)
+	case LaneReduce:
+		ps := make([]string, 0, n.Ways*(n.RedN+1))
+		for s := 0; s < n.Ways; s++ {
+			for q := 0; q < n.RedN; q++ {
+				ps = append(ps, fmt.Sprintf("crd%d_%d", q, s))
+			}
+			ps = append(ps, fmt.Sprintf("val%d", s))
+		}
 		return ps
 	}
 	return nil
@@ -296,6 +324,14 @@ func OutPorts(n *Node) []string {
 		return ps
 	case Serialize:
 		return []string{"out"}
+	case SerializePair:
+		return []string{"crd", "val"}
+	case LaneReduce:
+		ps := make([]string, 0, n.RedN+1)
+		for q := 0; q < n.RedN; q++ {
+			ps = append(ps, fmt.Sprintf("crd%d", q))
+		}
+		return append(ps, "val")
 	}
 	return nil
 }
@@ -333,6 +369,22 @@ func (g *Graph) Validate() error {
 		}
 	}
 	return nil
+}
+
+// drvPorts lists a serializer's per-lane rotation-driver ports. Serializers
+// joining streams deeper than the fork level (Level >= 0) are driven by
+// copies of the forked outermost coordinate stream, whose data tokens count
+// the chunks each lane owes; element-granularity joins (Level < 0) drive
+// themselves.
+func drvPorts(n *Node) []string {
+	if n.Level < 0 {
+		return nil
+	}
+	ps := make([]string, n.Ways)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("drv%d", i)
+	}
+	return ps
 }
 
 // reducePorts lists a reducer's ports: n coordinate streams plus values.

@@ -82,7 +82,12 @@ func TestPortTables(t *testing.T) {
 		{&Node{Kind: BVIntersect}, 4, 5},
 		{&Node{Kind: VecLoad}, 3, 1},
 		{&Node{Kind: Parallelize, Ways: 4}, 1, 4},
-		{&Node{Kind: Serialize, Ways: 4}, 4, 1},
+		{&Node{Kind: Serialize, Ways: 4, Level: -1}, 4, 1},
+		// Deep joins (Level >= 0) carry per-lane rotation-driver ports.
+		{&Node{Kind: Serialize, Ways: 4, Level: 0}, 8, 1},
+		{&Node{Kind: SerializePair, Ways: 4, Level: -1}, 8, 2},
+		{&Node{Kind: SerializePair, Ways: 4, Level: 1}, 12, 2},
+		{&Node{Kind: LaneReduce, Ways: 2, RedN: 2}, 6, 3},
 	}
 	for _, tc := range cases {
 		if got := len(InPorts(tc.node)); got != tc.in {

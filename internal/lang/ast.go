@@ -203,6 +203,14 @@ type Schedule struct {
 	// UseSkip fuses scanners and intersecters into coordinate-skipping
 	// (galloping) intersections (paper Section 4.2).
 	UseSkip bool
+	// Par parallelizes the graph across Par lanes at the outermost loop
+	// level (paper Section 4.4): the outermost variable's merged streams
+	// fork element-wise through parallelizer blocks, the downstream compute
+	// sub-graph is replicated once per lane, and the lanes join back through
+	// round-robin serializers (outermost variable kept in the output) or a
+	// cross-lane reduction tree (outermost variable reduced). Values of 0
+	// and 1 compile the ordinary sequential graph.
+	Par int
 }
 
 // NormalizeLoopOrder returns the schedule's loop order completed and checked

@@ -161,6 +161,18 @@ func (b *builder) out(n *graph.Node, port string) *core.Out {
 	return core.NewOut()
 }
 
+// drvQueues fetches a deep serializer's per-lane rotation-driver queues.
+func (b *builder) drvQueues(n *graph.Node) ([]*core.Queue, error) {
+	drv := make([]*core.Queue, n.Ways)
+	for i := range drv {
+		var err error
+		if drv[i], err = b.in(n, fmt.Sprintf("drv%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return drv, nil
+}
+
 // level fetches a bound operand's storage level.
 func (b *builder) level(n *graph.Node, operand string, lvl int) (fiber.Level, error) {
 	t, ok := b.bound[operand]
@@ -444,6 +456,73 @@ func (b *builder) instantiate(n *graph.Node) (core.Block, error) {
 		w := core.NewBVWriter(n.Label, b.dims[n.OutLevel], in)
 		b.bvWr[n.OutLevel] = w
 		return w, nil
+	case graph.Parallelize:
+		in, err := b.in(n, "in")
+		if err != nil {
+			return nil, err
+		}
+		outs := make([]*core.Out, n.Ways)
+		for i := range outs {
+			outs[i] = b.out(n, fmt.Sprintf("out%d", i))
+		}
+		return core.NewParallelizer(n.Label, n.Level, in, outs), nil
+	case graph.Serialize:
+		ins := make([]*core.Queue, n.Ways)
+		for i := range ins {
+			var err error
+			if ins[i], err = b.in(n, fmt.Sprintf("in%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		if n.Level < 0 {
+			return core.NewSerializer(n.Label, n.Level, ins, b.out(n, "out")), nil
+		}
+		drv, err := b.drvQueues(n)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDrivenSerializer(n.Label, n.Level, ins, drv, b.out(n, "out")), nil
+	case graph.SerializePair:
+		crds := make([]*core.Queue, n.Ways)
+		vals := make([]*core.Queue, n.Ways)
+		for i := 0; i < n.Ways; i++ {
+			var err error
+			if crds[i], err = b.in(n, fmt.Sprintf("crd%d", i)); err != nil {
+				return nil, err
+			}
+			if vals[i], err = b.in(n, fmt.Sprintf("val%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		if n.Level < 0 {
+			return core.NewPairSerializer(n.Label, n.Level, crds, vals, b.out(n, "crd"), b.out(n, "val")), nil
+		}
+		drv, err := b.drvQueues(n)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDrivenPairSerializer(n.Label, n.Level, crds, vals, drv, b.out(n, "crd"), b.out(n, "val")), nil
+	case graph.LaneReduce:
+		var crds [2][]*core.Queue
+		var vals [2]*core.Queue
+		for s := 0; s < 2; s++ {
+			crds[s] = make([]*core.Queue, n.RedN)
+			for q := 0; q < n.RedN; q++ {
+				var err error
+				if crds[s][q], err = b.in(n, fmt.Sprintf("crd%d_%d", q, s)); err != nil {
+					return nil, err
+				}
+			}
+			var err error
+			if vals[s], err = b.in(n, fmt.Sprintf("val%d", s)); err != nil {
+				return nil, err
+			}
+		}
+		crdOuts := make([]*core.Out, n.RedN)
+		for q := range crdOuts {
+			crdOuts[q] = b.out(n, fmt.Sprintf("crd%d", q))
+		}
+		return core.NewLaneCombine(n.Label, n.RedN, crds, vals, crdOuts, b.out(n, "val")), nil
 	case graph.VecValsWriter:
 		bv, err := b.in(n, "bv")
 		if err != nil {

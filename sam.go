@@ -20,8 +20,23 @@
 // internal work; the naive tick-all reference loop (EngineNaive), which is
 // bit-identical and exists for differential testing; and the functional
 // goroutine-per-block executor (EngineFlow), which computes outputs without
-// cycle counts. Independent simulations batch onto a worker pool with
-// SimulateBatch:
+// cycle counts.
+//
+// # Parallelization
+//
+// Schedule{Par: N} compiles an N-lane parallel graph (paper Section 4.4):
+// the outermost loop variable's merged streams fork element-wise across the
+// lanes, the downstream compute sub-graph is replicated once per lane, and
+// the lanes join back before tensor construction — through round-robin
+// serializers when the outermost variable is kept in the output, or through
+// a binary tree of cross-lane combiners that add lane partials when it is
+// reduced. Outputs match the sequential graph on every engine, and the
+// event-driven scheduler exposes the lane concurrency directly in simulated
+// cycles (near-linear on SpMV and SpM*SpM):
+//
+//	g, err := sam.Compile("X(i,j) = B(i,k) * C(k,j)", nil, sam.Schedule{Par: 4})
+//
+// Independent simulations batch onto a worker pool with SimulateBatch:
 //
 //	jobs := []sam.Job{{Name: "ikj", Graph: g1, Inputs: in}, {Name: "kij", Graph: g2, Inputs: in}}
 //	results, err := sam.SimulateBatch(jobs, sam.Options{})
