@@ -10,9 +10,10 @@
 //	sambench -exp engines -json > BENCH.json   # machine-readable results
 //	sambench -engine naive   # re-run the evaluation on the tick-all loop
 //	sambench -exp parallel -par 1,2,4,8,16     # lane-scaling study
+//	sambench -exp serve -json > BENCH_PR3.json # serving cache + scaling study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel, engines, parallel.
+// fig15, pointlevel, engines, parallel, serve.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -29,7 +31,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -79,6 +81,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	names := all
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
+	}
+	// Validate flag combinations up front: -par configures only the
+	// parallel lane sweep, so asking for it without that experiment is a
+	// mistake better reported now than silently ignored for a long run.
+	if len(lanes) > 0 && !slices.Contains(names, "parallel") {
+		fmt.Fprintf(stderr, "sambench: -par only applies to the parallel experiment; add -exp parallel (running: %s)\n", strings.Join(names, ","))
+		return 1
 	}
 	var records []jsonResult
 	for _, name := range names {
@@ -204,6 +213,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderParallel(pts), pts, nil
+	case "serve":
+		res, err := experiments.ServeStudy(seed, scale, nil)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderServe(res), res, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

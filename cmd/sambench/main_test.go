@@ -59,13 +59,57 @@ func TestSmokeTextOutput(t *testing.T) {
 	}
 }
 
+// TestSmokeServeJSON runs the serving study at a tiny scale and checks the
+// -json record carries both the cache and scaling sections.
+func TestSmokeServeJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-exp", "serve", "-scale", "0.05", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var records []jsonResult
+	if err := json.Unmarshal(stdout.Bytes(), &records); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(records) != 1 || records[0].Experiment != "serve" {
+		t.Fatalf("records = %+v", records)
+	}
+	data, ok := records[0].Data.(map[string]any)
+	if !ok {
+		t.Fatalf("data is %T, want an object", records[0].Data)
+	}
+	for _, section := range []string{"cpus", "cache", "scaling"} {
+		if _, ok := data[section]; !ok {
+			t.Errorf("data missing section %q", section)
+		}
+	}
+}
+
+// TestParFlagRequiresParallelExperiment checks the flag-combination
+// validation: -par without the parallel experiment fails up front.
+func TestParFlagRequiresParallelExperiment(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-exp", "engines", "-par", "2"}, &stdout, &stderr); code == 0 {
+		t.Fatal("exit 0, want failure")
+	}
+	if !strings.Contains(stderr.String(), "parallel") {
+		t.Errorf("diagnostic %q does not name the parallel experiment", stderr.String())
+	}
+	// With the parallel experiment in the list the combination is legal.
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-exp", "parallel", "-scale", "0.05", "-par", "1,2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+}
+
 // TestSmokeBadFlags checks the error paths exit nonzero without panicking.
 func TestSmokeBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-exp", "nope"},
 		{"-engine", "warp"},
-		{"-par", "0"},
-		{"-par", "x"},
+		{"-exp", "parallel", "-par", "0"},
+		{"-exp", "parallel", "-par", "x"},
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer

@@ -1,0 +1,96 @@
+// Command samserve runs the SAM program service: an HTTP/JSON API over a
+// compiled-program cache and an admission-controlled job queue, so compiled
+// dataflow graphs are reused across requests the way the paper treats them —
+// as hardware programs that stream many tensors.
+//
+// Usage:
+//
+//	samserve                          # listen on :8345 with defaults
+//	samserve -addr 127.0.0.1:9000 -workers 8 -queue 256 -cache 512 -batch 4
+//
+// Endpoints (see the README's Serving section for a curl walkthrough):
+//
+//	POST /v1/evaluate   synchronous evaluation
+//	POST /v1/jobs       asynchronous submission; returns a job id
+//	GET  /v1/jobs/{id}  job status and result
+//	GET  /v1/stats      cache, queue, cycle, and latency counters
+//
+// On SIGINT/SIGTERM the server stops accepting work (new requests get 503),
+// finishes every queued and running job, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sam/internal/serve"
+)
+
+func main() {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr, stop))
+}
+
+// realMain runs the server against explicit streams and a stop signal so
+// the smoke tests can drive it in-process. It prints the bound address on
+// one line ("samserve: listening on ...") before serving, which also lets
+// tests bind port 0.
+func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) int {
+	fs := flag.NewFlagSet("samserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8345", "listen address")
+	workers := fs.Int("workers", 4, "job queue worker pool size")
+	queueDepth := fs.Int("queue", 64, "admission queue depth (submissions beyond it get 429)")
+	cacheSize := fs.Int("cache", 128, "compiled-program LRU capacity")
+	batchMax := fs.Int("batch", 1, "max jobs one worker batches through SimulateBatch")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 || *batchMax < 1 {
+		fmt.Fprintln(stderr, "samserve: -workers, -queue, -cache and -batch must be positive")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "samserve:", err)
+		return 1
+	}
+	s := serve.NewServer(serve.Config{
+		Workers: *workers, QueueDepth: *queueDepth,
+		CacheSize: *cacheSize, BatchMax: *batchMax,
+	})
+	httpSrv := &http.Server{Handler: s}
+	fmt.Fprintf(stdout, "samserve: listening on http://%s (workers=%d queue=%d cache=%d batch=%d)\n",
+		ln.Addr(), *workers, *queueDepth, *cacheSize, *batchMax)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(stderr, "samserve:", err)
+		return 1
+	case <-stop:
+	}
+	fmt.Fprintln(stdout, "samserve: draining...")
+	// Finish in-flight jobs first (new submissions already get 503), then
+	// close idle HTTP connections.
+	s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "samserve: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "samserve: drained, bye")
+	return 0
+}

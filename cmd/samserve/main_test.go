@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing server output.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSmokeServe boots the real server on an ephemeral port, runs one
+// evaluation round-trip plus a stats read, then shuts it down via the
+// signal path and checks the graceful-drain exit.
+func TestSmokeServe(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &stdout, &stderr, stop)
+	}()
+
+	re := regexp.MustCompile(`listening on (http://[^ ]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// x(i) = B(i,j) * c(j) with B = [[1,2],[0,3]], c = [5,7] -> x = [19,21].
+	body := `{
+	  "expr": "x(i) = B(i,j) * c(j)",
+	  "inputs": {
+	    "B": {"dims": [2,2], "coords": [[0,0],[0,1],[1,1]], "values": [1,2,3]},
+	    "c": {"dims": [2], "coords": [[0],[1]], "values": [5,7]}
+	  }
+	}`
+	resp, err := http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		Cycles int `json:"cycles"`
+		Output struct {
+			Dims   []int     `json:"dims"`
+			Coords [][]int64 `json:"coords"`
+			Values []float64 `json:"values"`
+		} `json:"output"`
+		Cache string `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+	if er.Cycles <= 0 || er.Cache != "miss" {
+		t.Errorf("response cycles=%d cache=%q", er.Cycles, er.Cache)
+	}
+	want := []float64{19, 21}
+	if len(er.Output.Values) != 2 || er.Output.Values[0] != want[0] || er.Output.Values[1] != want[1] {
+		t.Errorf("output = %+v, want values %v", er.Output, want)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Requests    int64 `json:"requests"`
+		CacheMisses int64 `json:"cache_misses"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after signal")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Errorf("missing drain message in output: %s", stdout.String())
+	}
+}
+
+// TestBadFlags checks flag validation exits with usage errors.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := realMain([]string{"-workers", "0"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("-workers 0 exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("-bogus exit %d, want 2", code)
+	}
+}

@@ -7,6 +7,12 @@
 //	samsim -expr 'X(i,j) = B(i,k) * C(k,j)' -order i,k,j -dims i=250,j=250,k=100 -density 0.05
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -mtx B=matrix.mtx -density 0.1
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -par 4     # 4-lane parallel graph
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -skip      # galloping intersections
+//
+// Flag combinations are validated before simulation: the flow engine
+// rejects graphs it cannot run (gallop/bitvector blocks) and cycle-model
+// flags it ignores (-queue) with a clear error up front instead of failing
+// mid-run.
 package main
 
 import (
@@ -41,6 +47,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed for synthetic inputs")
 	queueCap := fs.Int("queue", 0, "inter-block queue capacity (0 = unbounded)")
 	par := fs.Int("par", 0, "parallelize the graph across this many lanes (0/1 = sequential)")
+	skip := fs.Bool("skip", false, "fuse two-way intersections into galloping (coordinate-skipping) blocks")
+	locate := fs.Bool("locate", false, "rewrite intersections against locatable (dense) levels into locator blocks")
 	engine := fs.String("engine", "", "simulation engine: event (default), naive, or flow")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
@@ -126,7 +134,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
 	}
 
-	sched := lang.Schedule{Par: *par}
+	sched := lang.Schedule{Par: *par, UseSkip: *skip, UseLocators: *locate}
 	if *order != "" {
 		sched.LoopOrder = strings.Split(*order, ",")
 	}
@@ -134,7 +142,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: sim.EngineKind(*engine)})
+	// Validate the flag combination before simulating: a clear error now
+	// beats a mid-run block failure (flow cannot execute gallop/bitvector
+	// graphs) or a silently ignored flag (flow has no cycle model, so
+	// -queue would do nothing).
+	kind := sim.EngineKind(*engine)
+	if err := sim.CheckEngine(kind, g); err != nil {
+		return fail(err)
+	}
+	if kind == sim.EngineFlow && *queueCap != 0 {
+		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the flow engine has no cycle model (drop -queue or use -engine event/naive)"))
+	}
+	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind})
 	if err != nil {
 		return fail(err)
 	}

@@ -65,3 +65,39 @@ func TestSmokeErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestSmokeSkip runs the galloping-intersection rewrite on a cycle engine.
+func TestSmokeSkip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = b(i) * c(i)",
+		"-dims", "i=40", "-density", "0.3", "-skip",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gold check:  PASSED") {
+		t.Errorf("output missing gold check:\n%s", stdout.String())
+	}
+}
+
+// TestFlagCombinationValidation checks illegal engine/flag combinations
+// fail up front with a diagnostic naming the conflict, not mid-run.
+func TestFlagCombinationValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-skip", "-engine", "flow"}, "gallop"},
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "flow", "-queue", "4"}, "-queue"},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(c.args, &stdout, &stderr); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", c.args)
+		}
+		if !strings.Contains(stderr.String(), c.want) {
+			t.Errorf("args %v: diagnostic %q missing %q", c.args, stderr.String(), c.want)
+		}
+	}
+}

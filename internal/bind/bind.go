@@ -14,13 +14,31 @@ import (
 	"sam/internal/tensor"
 )
 
+// Plan is the compile-time half of operand binding: the operand and output
+// dimension metadata lifted out of a graph once, so that executors that run
+// the same graph many times (sim.Program, the serving cache) pay only the
+// input-dependent work — fibertree construction and dimension lookup — per
+// request. A Plan is immutable after NewPlan and safe for concurrent use.
+type Plan struct {
+	bindings []graph.Binding
+	dims     []graph.DimRef
+}
+
+// NewPlan captures a graph's binding metadata. The graph's Bindings and
+// OutputDims slices are referenced, not copied; callers must not mutate the
+// graph afterwards (compiled graphs are treated as immutable everywhere).
+func NewPlan(g *graph.Graph) *Plan {
+	return &Plan{bindings: g.Bindings, dims: g.OutputDims}
+}
+
 // Operands builds each operand's fibertree storage from its source tensor,
-// permuting mode orders and building the per-level storage the graph's
+// permuting mode orders and building the per-level storage the plan's
 // formats request. Inputs are keyed by source tensor name; order-0 tensors
-// are scalars.
-func Operands(g *graph.Graph, inputs map[string]*tensor.COO) (map[string]*fiber.Tensor, error) {
-	bound := make(map[string]*fiber.Tensor, len(g.Bindings))
-	for _, bd := range g.Bindings {
+// are scalars. This is the run-time half of binding: its cost scales with
+// the input data, not the graph.
+func (p *Plan) Operands(inputs map[string]*tensor.COO) (map[string]*fiber.Tensor, error) {
+	bound := make(map[string]*fiber.Tensor, len(p.bindings))
+	for _, bd := range p.bindings {
 		src, ok := inputs[bd.Source]
 		if !ok {
 			return nil, fmt.Errorf("bind: no input bound for tensor %q", bd.Source)
@@ -39,10 +57,10 @@ func Operands(g *graph.Graph, inputs map[string]*tensor.COO) (map[string]*fiber.
 }
 
 // OutputDims resolves the output level dimension sizes from the input
-// tensors the graph's metadata references.
-func OutputDims(g *graph.Graph, inputs map[string]*tensor.COO) ([]int, error) {
-	dims := make([]int, 0, len(g.OutputDims))
-	for _, d := range g.OutputDims {
+// tensors the plan's metadata references.
+func (p *Plan) OutputDims(inputs map[string]*tensor.COO) ([]int, error) {
+	dims := make([]int, 0, len(p.dims))
+	for _, d := range p.dims {
 		src, ok := inputs[d.Tensor]
 		if !ok {
 			return nil, fmt.Errorf("bind: output dimension references unbound tensor %q", d.Tensor)
@@ -53,4 +71,15 @@ func OutputDims(g *graph.Graph, inputs map[string]*tensor.COO) ([]int, error) {
 		dims = append(dims, src.Dims[d.Mode])
 	}
 	return dims, nil
+}
+
+// Operands is the one-shot form of Plan.Operands for executors that do not
+// reuse graphs across runs.
+func Operands(g *graph.Graph, inputs map[string]*tensor.COO) (map[string]*fiber.Tensor, error) {
+	return NewPlan(g).Operands(inputs)
+}
+
+// OutputDims is the one-shot form of Plan.OutputDims.
+func OutputDims(g *graph.Graph, inputs map[string]*tensor.COO) ([]int, error) {
+	return NewPlan(g).OutputDims(inputs)
 }

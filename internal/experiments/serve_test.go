@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestServeStudy runs the serving study at a tiny scale and checks the
+// acceptance shape: every kernel appears, warm-cache setup beats cold by at
+// least 2x on repeated SpMV requests, and the scaling sweep covers the
+// requested worker counts with all requests served.
+func TestServeStudy(t *testing.T) {
+	res, err := ServeStudy(1, 0.1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cache) != 7 {
+		t.Fatalf("cache rows = %d, want 7", len(res.Cache))
+	}
+	for _, p := range res.Cache {
+		if p.ColdSetupNS <= 0 || p.WarmSetupNS <= 0 {
+			t.Errorf("%s: setup times cold=%d warm=%d", p.Kernel, p.ColdSetupNS, p.WarmSetupNS)
+		}
+		if p.Kernel == "SpMV" && p.SetupSpeedup < 2 {
+			t.Errorf("SpMV warm-cache setup speedup %.2fx, want >= 2x", p.SetupSpeedup)
+		}
+	}
+	if len(res.Scaling) != 2 || res.Scaling[0].Workers != 1 || res.Scaling[1].Workers != 2 {
+		t.Fatalf("scaling rows = %+v", res.Scaling)
+	}
+	for _, p := range res.Scaling {
+		if p.ThroughputRPS <= 0 || p.Requests <= 0 {
+			t.Errorf("workers=%d: throughput %v over %d requests", p.Workers, p.ThroughputRPS, p.Requests)
+		}
+		if p.Rejected != 0 {
+			t.Errorf("workers=%d: %d rejections skewed the throughput measurement", p.Workers, p.Rejected)
+		}
+	}
+	if res.CPUs <= 0 {
+		t.Errorf("cpus = %d", res.CPUs)
+	}
+	if RenderServe(res) == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -1,0 +1,80 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a deterministic textual form of the schedule: the loop
+// order, the optimization toggles, and the lane count, in a fixed field
+// order. Two schedules with the same canonical form compile any given
+// statement to the same graph. Loop-order variables are quoted so
+// client-supplied strings containing separators cannot alias a different
+// schedule (["i,j"] must not share a key with ["i","j"]).
+func (s Schedule) Canonical() string {
+	var b strings.Builder
+	b.WriteString("order=")
+	for i, v := range s.LoopOrder {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", v)
+	}
+	fmt.Fprintf(&b, ";loc=%t;skip=%t;par=%d", s.UseLocators, s.UseSkip, s.Par)
+	return b.String()
+}
+
+// Canonical returns a deterministic textual form of one format
+// specification: the per-level storage formats and the explicit mode order
+// (empty when defaulted).
+func (f Format) Canonical() string {
+	var b strings.Builder
+	for i, lv := range f.Levels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(lv.String())
+	}
+	if len(f.ModeOrder) > 0 {
+		b.WriteString(";modes=")
+		for i, m := range f.ModeOrder {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", m)
+		}
+	}
+	return b.String()
+}
+
+// Canonical returns a deterministic textual form of a format map: entries
+// sorted by tensor name (quoted, since map keys are client-supplied and
+// must not alias across separators), so the result is independent of map
+// iteration order. A nil map canonicalizes to the empty string (every
+// tensor defaulted).
+func (fs Formats) Canonical() string {
+	names := make([]string, 0, len(fs))
+	for n := range fs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%q", n)
+		b.WriteByte(':')
+		b.WriteString(fs[n].Canonical())
+	}
+	return b.String()
+}
+
+// CanonicalKey identifies a compilation request — (statement, formats,
+// schedule) — as a deterministic string. Requests with equal keys compile
+// to identical graphs, so the key is usable directly as a compiled-program
+// cache key; internal/serve's LRU uses the string itself.
+func CanonicalKey(e *Einsum, formats Formats, sched Schedule) string {
+	return e.String() + " | " + formats.Canonical() + " | " + sched.Canonical()
+}

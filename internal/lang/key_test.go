@@ -1,0 +1,72 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"sam/internal/fiber"
+)
+
+// TestCanonicalKeyDeterministic checks that the key is stable across calls
+// (map iteration order must not leak into it) and that every cache-relevant
+// request field moves it.
+func TestCanonicalKeyDeterministic(t *testing.T) {
+	e := MustParse("X(i,j) = B(i,k) * C(k,j)")
+	formats := Formats{
+		"B": CSR(2),
+		"C": Uniform(2, fiber.Compressed),
+		"X": Format{Levels: []fiber.Format{fiber.Dense, fiber.Compressed}, ModeOrder: []int{1, 0}},
+	}
+	sched := Schedule{LoopOrder: []string{"i", "k", "j"}, Par: 4, UseSkip: true}
+	key := CanonicalKey(e, formats, sched)
+	for i := 0; i < 32; i++ {
+		if again := CanonicalKey(e, formats, sched); again != key {
+			t.Fatalf("key unstable: %q vs %q", key, again)
+		}
+	}
+	for _, want := range []string{"X(i,j)", `"B":dense,compressed`, "modes=1,0", `order="i","k","j"`, "par=4", "skip=true"} {
+		if !strings.Contains(key, want) {
+			t.Errorf("key %q missing %q", key, want)
+		}
+	}
+}
+
+// TestCanonicalKeyNoAliasing checks client-controlled strings containing
+// separators cannot collapse distinct requests onto one cache key: a warm
+// cache must never answer for a schedule a cold compile would reject.
+func TestCanonicalKeyNoAliasing(t *testing.T) {
+	e := MustParse("X(i,j) = B(i,k) * C(k,j)")
+	a := CanonicalKey(e, nil, Schedule{LoopOrder: []string{"i", "j", "k"}})
+	b := CanonicalKey(e, nil, Schedule{LoopOrder: []string{"i,j", "k"}})
+	if a == b {
+		t.Fatalf("loop orders [i j k] and [i,j k] alias: %q", a)
+	}
+	// Without quoting these both canonicalize to `A:dense`.
+	fa := CanonicalKey(e, Formats{"A": Uniform(1, fiber.Dense)}, Schedule{})
+	fb := CanonicalKey(e, Formats{"A:dense": {}}, Schedule{})
+	if fa == fb {
+		t.Fatalf("format tensor names alias across separators: %q", fa)
+	}
+}
+
+// TestCanonicalKeyDistinguishes varies one request dimension at a time and
+// checks the keys all differ.
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	e := MustParse("x(i) = B(i,j) * c(j)")
+	base := CanonicalKey(e, nil, Schedule{})
+	variants := map[string]string{
+		"expr":     CanonicalKey(MustParse("x(i) = B(i,j) + c(j)"), nil, Schedule{}),
+		"format":   CanonicalKey(e, Formats{"B": CSR(2)}, Schedule{}),
+		"order":    CanonicalKey(e, nil, Schedule{LoopOrder: []string{"j", "i"}}),
+		"par":      CanonicalKey(e, nil, Schedule{Par: 4}),
+		"locators": CanonicalKey(e, nil, Schedule{UseLocators: true}),
+		"skip":     CanonicalKey(e, nil, Schedule{UseSkip: true}),
+	}
+	seen := map[string]string{base: "base"}
+	for name, k := range variants {
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key for %q collides with %q: %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"sam/internal/sim"
+)
+
+// programCache is the compiled-program LRU: canonical request key (see
+// lang.CanonicalKey) to *sim.Program. A hit skips parsing nothing — the key
+// itself needs the parsed statement — but skips compilation and program
+// construction, the dominant per-request setup cost. Safe for concurrent
+// use.
+type programCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	prog *sim.Program
+}
+
+func newProgramCache(capacity int) *programCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &programCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached program for the key and records a hit or a miss.
+func (c *programCache) get(key string) (*sim.Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).prog, true
+}
+
+// put inserts a compiled program, evicting the least recently used entry
+// beyond capacity. Concurrent misses on the same key may both compile and
+// both put; the entry is overwritten, which is benign — programs for equal
+// keys are interchangeable.
+func (c *programCache) put(key string, prog *sim.Program) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).prog = prog
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, prog: prog})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns the counters and current size.
+func (c *programCache) stats() (hits, misses, evictions int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}

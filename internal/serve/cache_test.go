@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/lang"
+	"sam/internal/sim"
+)
+
+func testProgram(t *testing.T, expr string) *sim.Program {
+	t.Helper()
+	g, err := custard.Compile(lang.MustParse(expr), nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheLRU checks hit/miss accounting and least-recently-used eviction.
+func TestCacheLRU(t *testing.T) {
+	c := newProgramCache(2)
+	pa := testProgram(t, "x(i) = a(i) * b(i)")
+	pb := testProgram(t, "x(i) = a(i) + b(i)")
+	pc := testProgram(t, "x(i) = a(i) - b(i)")
+
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", pa)
+	c.put("b", pb)
+	if got, ok := c.get("a"); !ok || got != pa {
+		t.Fatal("miss for cached key a")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.put("c", pc)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction though it was least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted though it was most recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+	hits, misses, evictions, size := c.stats()
+	if hits != 3 || misses != 2 || evictions != 1 || size != 2 {
+		t.Fatalf("stats = hits %d misses %d evictions %d size %d", hits, misses, evictions, size)
+	}
+}
+
+// TestCachePutExistingKey checks overwriting a key (the benign
+// concurrent-miss race) neither grows the cache nor evicts.
+func TestCachePutExistingKey(t *testing.T) {
+	c := newProgramCache(2)
+	pa := testProgram(t, "x(i) = a(i) * b(i)")
+	pb := testProgram(t, "x(i) = a(i) + b(i)")
+	c.put("k", pa)
+	c.put("k", pb)
+	got, ok := c.get("k")
+	if !ok || got != pb {
+		t.Fatal("second put did not replace the entry")
+	}
+	if _, _, evictions, size := c.stats(); size != 1 || evictions != 0 {
+		t.Fatalf("size %d evictions %d after double put", size, evictions)
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := newProgramCache(4)
+	progs := make([]*sim.Program, 8)
+	ops := []string{"*", "+", "-"}
+	for i := range progs {
+		progs[i] = testProgram(t, fmt.Sprintf("x(i) = a(i) %s b%d(i)", ops[i%len(ops)], i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w+i)%len(progs))
+				if _, ok := c.get(k); !ok {
+					c.put(k, progs[(w+i)%len(progs)])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, _, _, size := c.stats(); size > 4 {
+		t.Fatalf("cache grew past capacity: %d", size)
+	}
+}
+
+// TestQueueBackpressure drives the queue with a blocked worker and checks
+// admission control: fills to capacity, rejects with ErrQueueFull, then
+// completes everything on release and rejects with ErrDraining after drain.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var ran []string
+	var mu sync.Mutex
+	q := newQueue(1, 2, 1, func(batch []*job) {
+		<-release
+		mu.Lock()
+		for _, j := range batch {
+			ran = append(ran, j.id)
+		}
+		mu.Unlock()
+	})
+	mk := func(id string) *job { return &job{id: id, done: make(chan struct{})} }
+
+	// First job occupies the worker (it may be picked up immediately), the
+	// next two fill the depth-2 channel; the fourth must be rejected. Submit
+	// until two rejections to be robust to pickup timing.
+	var accepted, rejected int
+	for i := 0; accepted < 3 && i < 10; i++ {
+		if err := q.submit(mk(fmt.Sprintf("a%d", i))); err == nil {
+			accepted++
+		} else if err != ErrQueueFull {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	for rejected < 1 {
+		err := q.submit(mk("overflow"))
+		if err == nil {
+			// The worker dequeued one meanwhile; keep filling.
+			accepted++
+			continue
+		}
+		if err != ErrQueueFull {
+			t.Fatalf("unexpected error %v", err)
+		}
+		rejected++
+	}
+	close(release)
+	q.drain()
+	if err := q.submit(mk("late")); err != ErrDraining {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+	mu.Lock()
+	n := len(ran)
+	mu.Unlock()
+	if n != accepted {
+		t.Fatalf("%d jobs ran after drain, want every accepted job (%d)", n, accepted)
+	}
+}
+
+// TestQueueMicroBatch checks a worker drains multiple queued jobs into one
+// run call when batchMax allows.
+func TestQueueMicroBatch(t *testing.T) {
+	release := make(chan struct{})
+	batches := make(chan int, 16)
+	q := newQueue(1, 8, 4, func(batch []*job) {
+		<-release
+		batches <- len(batch)
+	})
+	for i := 0; i < 5; i++ {
+		if err := q.submit(&job{id: fmt.Sprintf("m%d", i), done: make(chan struct{})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	q.drain()
+	close(batches)
+	total, largest := 0, 0
+	for n := range batches {
+		total += n
+		if n > largest {
+			largest = n
+		}
+	}
+	if total != 5 {
+		t.Fatalf("ran %d jobs, want 5", total)
+	}
+	if largest < 2 {
+		t.Fatalf("largest micro-batch %d, want >= 2", largest)
+	}
+}

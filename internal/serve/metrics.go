@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is how many recent request latencies the percentile window
+// holds.
+const latWindow = 2048
+
+// metrics aggregates the server's counters and a sliding latency window for
+// p50/p99. Safe for concurrent use.
+type metrics struct {
+	mu sync.Mutex
+
+	requests  int64 // requests admitted (sync + async)
+	rejected  int64 // requests refused with 429 (queue full / draining)
+	failures  int64 // admitted requests that failed
+	cycles    int64 // total simulated cycles served
+	latencies []time.Duration
+	latNext   int
+}
+
+func (m *metrics) admit()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }
+func (m *metrics) reject() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) fail()   { m.mu.Lock(); m.failures++; m.mu.Unlock() }
+
+// observe records one completed request's latency and simulated cycles.
+func (m *metrics) observe(d time.Duration, cycles int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cycles += int64(cycles)
+	if len(m.latencies) < latWindow {
+		m.latencies = append(m.latencies, d)
+		return
+	}
+	m.latencies[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latWindow
+}
+
+// percentiles returns the p50 and p99 of the window in milliseconds.
+func (m *metrics) percentiles() (p50, p99 float64) {
+	m.mu.Lock()
+	lat := append([]time.Duration(nil), m.latencies...)
+	m.mu.Unlock()
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.99)
+}
+
+// counters returns the scalar counters.
+func (m *metrics) counters() (requests, rejected, failures, cycles int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests, m.rejected, m.failures, m.cycles
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull rejects a submission when the admission queue is at
+// capacity; the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining rejects submissions after shutdown began; mapped to 503.
+var ErrDraining = errors.New("serve: server draining")
+
+// queue is the admission-controlled job queue: a bounded channel in front
+// of a fixed worker pool. Each worker drains up to batchMax queued jobs at
+// once and hands them to run as a micro-batch (the server routes them
+// through sim.RunBatch). Admission never blocks: a full queue rejects with
+// ErrQueueFull, which is the backpressure signal.
+type queue struct {
+	mu       sync.RWMutex // guards draining against submits racing close
+	ch       chan *job
+	draining bool
+	wg       sync.WaitGroup
+	batchMax int
+	run      func([]*job)
+}
+
+func newQueue(workers, depth, batchMax int, run func([]*job)) *queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	if batchMax <= 0 {
+		batchMax = 1
+	}
+	q := &queue{ch: make(chan *job, depth), batchMax: batchMax, run: run}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// submit admits a job or rejects it immediately.
+func (q *queue) submit(j *job) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.draining {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// depth is the number of queued (not yet running) jobs.
+func (q *queue) depth() int { return len(q.ch) }
+
+// drain stops admission and waits for every queued and running job to
+// finish: the graceful-shutdown path. Safe to call more than once.
+func (q *queue) drain() {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.ch)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// worker pulls one job, opportunistically drains up to batchMax-1 more
+// without blocking, and runs them as one micro-batch.
+func (q *queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		batch := []*job{j}
+	collect:
+		for len(batch) < q.batchMax {
+			select {
+			case j2, ok := <-q.ch:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, j2)
+			default:
+				break collect
+			}
+		}
+		q.run(batch)
+	}
+}

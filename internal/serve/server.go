@@ -1,0 +1,475 @@
+// Package serve is the SAM program service: a compiled-program LRU cache, an
+// admission-controlled asynchronous job queue over the batch simulator, and
+// an HTTP/JSON API. It inverts the one-shot sam.Simulate flow into the
+// paper's intended usage — a SAM graph is a hardware program: compile once,
+// stream many tensors through it — so repeated requests pay input binding
+// and net construction only, never re-parsing or re-compilation.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   synchronous evaluation (admitted through the queue)
+//	POST /v1/jobs       asynchronous submission; returns a job id
+//	GET  /v1/jobs/{id}  job status and result
+//	GET  /v1/stats      cache, queue, cycle, and latency counters
+//
+// Backpressure is explicit: when the bounded queue is full, both entry
+// points reject immediately with 429 rather than queueing unboundedly.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sam/internal/custard"
+	"sam/internal/lang"
+	"sam/internal/sim"
+	"sam/internal/tensor"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the job-queue worker pool size; each worker runs one
+	// micro-batch at a time. Default 4.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-not-running jobs;
+	// submissions beyond it are rejected with 429. Default 64.
+	QueueDepth int
+	// CacheSize bounds the compiled-program LRU. Default 128.
+	CacheSize int
+	// BatchMax is the largest micro-batch one worker drains from the queue
+	// and routes through sim.RunBatch in a single call; jobs in a batch run
+	// concurrently, so peak simulation parallelism is Workers × BatchMax.
+	// Default 1.
+	BatchMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 1
+	}
+	return c
+}
+
+// finishedCap bounds how many completed job records the server retains for
+// GET /v1/jobs/{id}; the oldest are dropped beyond it.
+const finishedCap = 4096
+
+// Server is one SAM program service instance. Create it with NewServer,
+// mount it as an http.Handler, and Close it to drain gracefully.
+type Server struct {
+	cfg     Config
+	cache   *programCache
+	queue   *queue
+	metrics *metrics
+	mux     *http.ServeMux
+
+	nextID atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string
+}
+
+// job is one admitted evaluation travelling through the queue.
+type job struct {
+	id    string
+	prep  *prepared
+	start time.Time
+	done  chan struct{} // closed after resp/errMsg and status are final
+	// sync marks a synchronous /v1/evaluate job: its id is never returned
+	// to the caller, so its record (and output tensor) is dropped on
+	// completion instead of being archived for GET /v1/jobs/{id}.
+	sync bool
+
+	// status, resp and errMsg are guarded by Server.mu.
+	status string
+	resp   *EvaluateResponse
+	errMsg string
+}
+
+// prepared is a validated, program-resolved request ready to simulate.
+type prepared struct {
+	prog     *sim.Program
+	inputs   map[string]*tensor.COO
+	opt      sim.Options
+	engine   string
+	cacheHit bool
+	setup    time.Duration
+}
+
+// NewServer builds a service with the given sizing; zero fields take
+// defaults.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newProgramCache(cfg.CacheSize),
+		metrics: &metrics{},
+		jobs:    map[string]*job{},
+	}
+	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, cfg.BatchMax, s.runBatch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the job queue: admission stops (new submissions get 503) and
+// every queued and running job finishes before Close returns.
+func (s *Server) Close() { s.queue.drain() }
+
+// prepare validates a request and resolves its compiled program through the
+// cache. The returned setup duration covers parse, canonicalization, and —
+// on a miss — compilation and program construction: the cost the cache
+// amortizes.
+func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
+	if req.Expr == "" {
+		return nil, fmt.Errorf("expr is required")
+	}
+	formats, err := toFormats(req.Formats)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := req.Schedule.toSchedule()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		return nil, err
+	}
+
+	begin := time.Now()
+	e, err := lang.Parse(req.Expr)
+	if err != nil {
+		return nil, err
+	}
+	// Reject format entries for tensors the statement never names: the
+	// compiler would silently ignore them (a typo'd name compiles with
+	// default formats) and the stray key would fragment the program cache.
+	if len(formats) > 0 {
+		named := map[string]bool{e.LHS.Tensor: true}
+		for _, a := range e.Accesses() {
+			named[a.Tensor] = true
+		}
+		for name := range formats {
+			if !named[name] {
+				return nil, fmt.Errorf("format for %q names no tensor of %s", name, e)
+			}
+		}
+	}
+	key := lang.CanonicalKey(e, formats, sched)
+	prog, hit := s.cache.get(key)
+	if !hit {
+		g, err := custard.Compile(e, formats, sched)
+		if err != nil {
+			return nil, err
+		}
+		if prog, err = sim.NewProgram(g); err != nil {
+			return nil, err
+		}
+		s.cache.put(key, prog)
+	}
+	setup := time.Since(begin)
+
+	if err := prog.CheckEngine(opt.Engine); err != nil {
+		return nil, err
+	}
+	inputs, err := decodeInputs(e, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	engine := string(opt.Engine)
+	if engine == "" {
+		engine = string(sim.EngineEvent)
+	}
+	return &prepared{
+		prog: prog, inputs: inputs, opt: opt, engine: engine,
+		cacheHit: hit, setup: setup,
+	}, nil
+}
+
+// decodeInputs converts and validates the wire tensors against the
+// statement: every access needs an input of matching order, dimensions must
+// agree across shared index variables, and unused inputs are rejected.
+func decodeInputs(e *lang.Einsum, wire map[string]WireTensor) (map[string]*tensor.COO, error) {
+	inputs := make(map[string]*tensor.COO, len(wire))
+	used := map[string]bool{}
+	varDim := map[string]int{}
+	for _, a := range e.Accesses() {
+		wt, ok := wire[a.Tensor]
+		if !ok {
+			return nil, fmt.Errorf("no input for tensor %q", a.Tensor)
+		}
+		if len(wt.Dims) != len(a.Idx) {
+			return nil, fmt.Errorf("input %q has order %d, access %s wants order %d", a.Tensor, len(wt.Dims), a, len(a.Idx))
+		}
+		for m, v := range a.Idx {
+			if d, seen := varDim[v]; seen && d != wt.Dims[m] {
+				return nil, fmt.Errorf("index %q is dimension %d in one access but %d in %s", v, d, wt.Dims[m], a)
+			}
+			varDim[v] = wt.Dims[m]
+		}
+		used[a.Tensor] = true
+		if _, done := inputs[a.Tensor]; done {
+			continue
+		}
+		t, err := wt.toCOO(a.Tensor)
+		if err != nil {
+			return nil, err
+		}
+		inputs[a.Tensor] = t
+	}
+	for name := range wire {
+		if !used[name] {
+			return nil, fmt.Errorf("input %q is not referenced by %s", name, e)
+		}
+	}
+	return inputs, nil
+}
+
+// admit registers and enqueues a prepared request.
+func (s *Server) admit(prep *prepared, sync bool) (*job, error) {
+	j := &job{
+		id:     "j" + strconv.FormatInt(s.nextID.Add(1), 10),
+		prep:   prep,
+		start:  time.Now(),
+		done:   make(chan struct{}),
+		status: "queued",
+		sync:   sync,
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	if err := s.queue.submit(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		s.metrics.reject()
+		return nil, err
+	}
+	s.metrics.admit()
+	return j, nil
+}
+
+// runBatch executes one worker's micro-batch: jobs are grouped by identical
+// simulation options and each group routes through sim.RunBatch as one
+// call, running its jobs concurrently on the batch runner's pool.
+func (s *Server) runBatch(batch []*job) {
+	s.mu.Lock()
+	for _, j := range batch {
+		j.status = "running"
+	}
+	s.mu.Unlock()
+
+	groups := map[sim.Options][]*job{}
+	for _, j := range batch {
+		groups[j.prep.opt] = append(groups[j.prep.opt], j)
+	}
+	for opt, group := range groups {
+		simJobs := make([]sim.Job, len(group))
+		for i, j := range group {
+			simJobs[i] = sim.Job{Name: j.id, Program: j.prep.prog, Inputs: j.prep.inputs}
+		}
+		opt.Workers = len(group)
+		results, err := sim.RunBatch(simJobs, opt)
+		for i, j := range group {
+			if results == nil || results[i] == nil {
+				// RunBatch reports the first failure; jobs whose result is
+				// missing share its message.
+				msg := "simulation failed"
+				if err != nil {
+					msg = err.Error()
+				}
+				s.finish(j, nil, msg)
+				continue
+			}
+			s.finish(j, results[i], "")
+		}
+	}
+}
+
+// finish publishes a job's outcome and records metrics.
+func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
+	elapsed := time.Since(j.start)
+	s.mu.Lock()
+	if errMsg != "" {
+		j.status = "failed"
+		j.errMsg = errMsg
+	} else {
+		j.status = "done"
+		j.resp = &EvaluateResponse{
+			Cycles:      res.Cycles,
+			Output:      fromCOO(res.Output),
+			Fingerprint: j.prep.prog.Fingerprint(),
+			Cache:       map[bool]string{true: "hit", false: "miss"}[j.prep.cacheHit],
+			Engine:      j.prep.engine,
+			SetupNS:     j.prep.setup.Nanoseconds(),
+			ElapsedNS:   elapsed.Nanoseconds(),
+		}
+	}
+	if j.sync {
+		// The waiting handler holds the job pointer; nobody can poll a
+		// sync job by id, so don't pin its output in the registry.
+		delete(s.jobs, j.id)
+	} else {
+		s.finished = append(s.finished, j.id)
+		for len(s.finished) > finishedCap {
+			delete(s.jobs, s.finished[0])
+			s.finished = s.finished[1:]
+		}
+	}
+	s.mu.Unlock()
+	if errMsg != "" {
+		s.metrics.fail()
+		s.metrics.observe(elapsed, 0)
+	} else {
+		s.metrics.observe(elapsed, res.Cycles)
+	}
+	close(j.done)
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Requests        int64   `json:"requests"`
+	Rejected        int64   `json:"rejected"`
+	Failures        int64   `json:"failures"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheEvictions  int64   `json:"cache_evictions"`
+	CachePrograms   int     `json:"cache_programs"`
+	QueueDepth      int     `json:"queue_depth"`
+	Workers         int     `json:"workers"`
+	CyclesSimulated int64   `json:"cycles_simulated"`
+	LatencyP50MS    float64 `json:"latency_p50_ms"`
+	LatencyP99MS    float64 `json:"latency_p99_ms"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() StatsResponse {
+	requests, rejected, failures, cycles := s.metrics.counters()
+	hits, misses, evictions, size := s.cache.stats()
+	p50, p99 := s.metrics.percentiles()
+	return StatsResponse{
+		Requests: requests, Rejected: rejected, Failures: failures,
+		CacheHits: hits, CacheMisses: misses, CacheEvictions: evictions,
+		CachePrograms: size, QueueDepth: s.queue.depth(), Workers: s.cfg.Workers,
+		CyclesSimulated: cycles, LatencyP50MS: p50, LatencyP99MS: p99,
+	}
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	prep, err := s.prepare(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.admit(prep, true)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	<-j.done
+	s.mu.Lock()
+	resp, errMsg := j.resp, j.errMsg
+	s.mu.Unlock()
+	if errMsg != "" {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: errMsg})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	prep, err := s.prepare(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.admit(prep, false)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, JobResponse{ID: j.id, Status: "queued"})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var resp JobResponse
+	if ok {
+		resp = JobResponse{ID: j.id, Status: j.status, Result: j.resp, Error: j.errMsg}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// decodeRequest reads and strictly decodes an evaluation body; unknown
+// fields are rejected so client typos fail loudly.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*EvaluateRequest, bool) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req EvaluateRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, false
+	}
+	return &req, true
+}
+
+// writeAdmissionError maps queue rejection onto HTTP backpressure codes.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	code := http.StatusTooManyRequests
+	if err == ErrDraining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

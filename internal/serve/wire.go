@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"fmt"
+
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/sim"
+	"sam/internal/tensor"
+)
+
+// WireTensor is the COO tensor wire format: parallel coordinate and value
+// lists. An order-0 tensor (a scalar operand) has empty dims, no coords, and
+// exactly one value.
+type WireTensor struct {
+	Dims   []int     `json:"dims"`
+	Coords [][]int64 `json:"coords,omitempty"`
+	Values []float64 `json:"values"`
+}
+
+// WireFormat is one tensor's format specification on the wire: per-level
+// storage format names ("dense", "compressed", "bitvector", "linkedlist")
+// and an optional explicit mode order.
+type WireFormat struct {
+	Levels    []string `json:"levels"`
+	ModeOrder []int    `json:"mode_order,omitempty"`
+}
+
+// WireSchedule mirrors lang.Schedule on the wire.
+type WireSchedule struct {
+	LoopOrder   []string `json:"loop_order,omitempty"`
+	UseLocators bool     `json:"use_locators,omitempty"`
+	UseSkip     bool     `json:"use_skip,omitempty"`
+	Par         int      `json:"par,omitempty"`
+}
+
+// WireOptions carries the per-request simulation options.
+type WireOptions struct {
+	// Engine selects the executor: "event" (default), "naive", or "flow".
+	Engine string `json:"engine,omitempty"`
+	// MaxCycles aborts runaway simulations; 0 means the engine default.
+	MaxCycles int `json:"max_cycles,omitempty"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate and POST /v1/jobs.
+type EvaluateRequest struct {
+	Expr     string                `json:"expr"`
+	Formats  map[string]WireFormat `json:"formats,omitempty"`
+	Schedule *WireSchedule         `json:"schedule,omitempty"`
+	Options  *WireOptions          `json:"options,omitempty"`
+	Inputs   map[string]WireTensor `json:"inputs"`
+}
+
+// EvaluateResponse is the body of a successful evaluation.
+type EvaluateResponse struct {
+	// Cycles is the simulated execution time (0 on the flow engine, which
+	// computes functional results only — see sim.EngineFlow).
+	Cycles int `json:"cycles"`
+	// Output is the result tensor in the declared left-hand-side order.
+	Output WireTensor `json:"output"`
+	// Fingerprint is the compiled graph's canonical fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// Cache reports whether the compiled program was reused: "hit" or
+	// "miss".
+	Cache string `json:"cache"`
+	// Engine names the executor that ran the request.
+	Engine string `json:"engine"`
+	// SetupNS is the program-resolution time in nanoseconds: parse plus
+	// cache lookup on a hit, parse plus compile plus program build on a
+	// miss. The warm/cold setup ratio is the cache's value.
+	SetupNS int64 `json:"setup_ns"`
+	// ElapsedNS is the full server-side request time in nanoseconds.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// JobResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "queued", "running", "done", "failed"
+	// Result is set once Status is "done".
+	Result *EvaluateResponse `json:"result,omitempty"`
+	// Error is set once Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// toCOO validates and converts a wire tensor.
+func (w WireTensor) toCOO(name string) (*tensor.COO, error) {
+	for _, d := range w.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("input %q: non-positive dimension %d", name, d)
+		}
+	}
+	if len(w.Dims) == 0 {
+		if len(w.Values) != 1 || len(w.Coords) != 0 {
+			return nil, fmt.Errorf("input %q: a scalar (order-0) tensor needs exactly one value and no coords", name)
+		}
+		t := tensor.NewCOO(name)
+		t.Append(w.Values[0])
+		return t, nil
+	}
+	if len(w.Coords) != len(w.Values) {
+		return nil, fmt.Errorf("input %q: %d coords but %d values", name, len(w.Coords), len(w.Values))
+	}
+	t := tensor.NewCOO(name, w.Dims...)
+	for i, crd := range w.Coords {
+		if len(crd) != len(w.Dims) {
+			return nil, fmt.Errorf("input %q: coord %d has arity %d, want %d", name, i, len(crd), len(w.Dims))
+		}
+		for m, c := range crd {
+			if c < 0 || c >= int64(w.Dims[m]) {
+				return nil, fmt.Errorf("input %q: coord %d mode %d = %d outside [0,%d)", name, i, m, c, w.Dims[m])
+			}
+		}
+		t.Append(w.Values[i], crd...)
+	}
+	return t, nil
+}
+
+// fromCOO converts a result tensor onto the wire.
+func fromCOO(t *tensor.COO) WireTensor {
+	w := WireTensor{Dims: t.Dims, Values: make([]float64, 0, len(t.Pts))}
+	if t.Order() > 0 {
+		w.Coords = make([][]int64, 0, len(t.Pts))
+	}
+	for _, p := range t.Pts {
+		if t.Order() > 0 {
+			w.Coords = append(w.Coords, p.Crd)
+		}
+		w.Values = append(w.Values, p.Val)
+	}
+	return w
+}
+
+// levelFormat parses one wire level-format name.
+func levelFormat(s string) (fiber.Format, error) {
+	switch s {
+	case "dense", "d":
+		return fiber.Dense, nil
+	case "compressed", "c":
+		return fiber.Compressed, nil
+	case "bitvector", "b":
+		return fiber.Bitvector, nil
+	case "linkedlist", "l":
+		return fiber.LinkedList, nil
+	}
+	return 0, fmt.Errorf("unknown level format %q (want dense, compressed, bitvector, or linkedlist)", s)
+}
+
+// toFormats validates and converts the wire format map.
+func toFormats(ws map[string]WireFormat) (lang.Formats, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	fs := make(lang.Formats, len(ws))
+	for name, wf := range ws {
+		f := lang.Format{ModeOrder: wf.ModeOrder}
+		for _, lv := range wf.Levels {
+			lf, err := levelFormat(lv)
+			if err != nil {
+				return nil, fmt.Errorf("format for %q: %w", name, err)
+			}
+			f.Levels = append(f.Levels, lf)
+		}
+		fs[name] = f
+	}
+	return fs, nil
+}
+
+// toSchedule converts the wire schedule; nil means the default schedule.
+func (w *WireSchedule) toSchedule() (lang.Schedule, error) {
+	if w == nil {
+		return lang.Schedule{}, nil
+	}
+	if w.Par < 0 {
+		return lang.Schedule{}, fmt.Errorf("schedule: negative par %d", w.Par)
+	}
+	return lang.Schedule{
+		LoopOrder: w.LoopOrder, UseLocators: w.UseLocators,
+		UseSkip: w.UseSkip, Par: w.Par,
+	}, nil
+}
+
+// toOptions converts the wire options; nil means defaults.
+func (w *WireOptions) toOptions() (sim.Options, error) {
+	if w == nil {
+		return sim.Options{}, nil
+	}
+	if w.MaxCycles < 0 {
+		return sim.Options{}, fmt.Errorf("options: negative max_cycles %d", w.MaxCycles)
+	}
+	kind := sim.EngineKind(w.Engine)
+	if _, err := sim.EngineFor(kind); err != nil {
+		return sim.Options{}, err
+	}
+	return sim.Options{Engine: kind, MaxCycles: w.MaxCycles}, nil
+}

@@ -13,19 +13,33 @@ import (
 type Job struct {
 	// Name labels the job in errors; when empty the graph name is used.
 	Name string
-	// Graph is the compiled SAM graph to execute.
+	// Graph is the compiled SAM graph to execute. Ignored when Program is
+	// set.
 	Graph *graph.Graph
+	// Program, when non-nil, is a precompiled program to execute instead of
+	// Graph: the per-job validation and planning are already paid, so
+	// batches of cached programs (the serving hot path) skip straight to
+	// input binding. Programs are safe to share across jobs.
+	Program *Program
 	// Inputs binds source tensor names to tensors. Inputs are only read, so
 	// jobs may share tensors.
 	Inputs map[string]*tensor.COO
+}
+
+// graphOf returns the graph the job will execute, from either field.
+func (j Job) graphOf() *graph.Graph {
+	if j.Program != nil {
+		return j.Program.g
+	}
+	return j.Graph
 }
 
 func (j Job) label(i int) string {
 	if j.Name != "" {
 		return j.Name
 	}
-	if j.Graph != nil {
-		return j.Graph.Name
+	if g := j.graphOf(); g != nil {
+		return g.Name
 	}
 	return fmt.Sprintf("job %d", i)
 }
@@ -58,15 +72,22 @@ func RunBatch(jobs []Job, opt Options) ([]*Result, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				if j.Graph == nil {
+				g := j.graphOf()
+				if g == nil {
 					errs[i] = fmt.Errorf("sim: %s: nil graph", j.label(i))
 					continue
 				}
-				res, err := eng.Run(j.Graph, j.Inputs, opt)
+				var res *Result
+				var err error
+				if j.Program != nil {
+					res, err = eng.RunProgram(j.Program, j.Inputs, opt)
+				} else {
+					res, err = eng.Run(g, j.Inputs, opt)
+				}
 				if err != nil {
 					// Engine errors already carry a "sim: <graph>" prefix;
 					// add only the job label, and only when it adds signal.
-					if j.Name != "" && j.Name != j.Graph.Name {
+					if j.Name != "" && j.Name != g.Name {
 						err = fmt.Errorf("%s: %w", j.Name, err)
 					}
 					errs[i] = err

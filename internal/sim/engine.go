@@ -23,10 +23,15 @@ const (
 	// EngineEvent and exists for differential testing and benchmarking.
 	EngineNaive EngineKind = "naive"
 	// EngineFlow is the functional goroutine-per-block executor from
-	// internal/flow: every block a goroutine, every stream a channel. It
-	// computes outputs only — Result.Cycles is zero and no stream
-	// statistics are gathered — and supports the core block set (graphs
-	// using gallop or bitvector blocks need a cycle engine).
+	// internal/flow: every block a goroutine, every stream a channel.
+	//
+	// EngineFlow's limitations, authoritatively: it computes outputs only —
+	// Result.Cycles is zero and no stream statistics are gathered, so
+	// experiments and anything reading cycle counts must use a cycle
+	// engine — and it supports the core block set only: graphs using
+	// galloping intersection (Schedule.UseSkip), the bitvector pipeline, or
+	// reducers deeper than matrices are rejected up front by CheckEngine
+	// with a descriptive error.
 	EngineFlow EngineKind = "flow"
 )
 
@@ -38,6 +43,41 @@ type Engine interface {
 	Name() string
 	// Run executes the graph and assembles the output tensor.
 	Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error)
+	// RunProgram executes a precompiled program, skipping the per-call
+	// validation and planning Run pays.
+	RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error)
+}
+
+// CheckEngine reports up front whether the engine can execute the graph.
+// The cycle engines run every block kind; the goroutine executor
+// (EngineFlow) supports the core block set only, so graphs using galloping
+// intersection (Schedule.UseSkip), the bitvector pipeline, or reducers
+// deeper than matrices get a descriptive error here instead of failing
+// mid-run. An unknown engine kind also errors.
+func CheckEngine(kind EngineKind, g *graph.Graph) error {
+	if _, err := EngineFor(kind); err != nil {
+		return err
+	}
+	if kind != EngineFlow {
+		return nil
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.GallopIntersect:
+			return fmt.Errorf("sim: engine %q cannot run graph %q: gallop intersection %q (Schedule.UseSkip) needs a cycle engine (%q or %q)",
+				EngineFlow, g.Name, n.Label, EngineEvent, EngineNaive)
+		case graph.BVScanner, graph.BVIntersect, graph.VecLoad, graph.VecALU,
+			graph.BVExpand, graph.BVConvert, graph.BVWriter, graph.VecValsWriter:
+			return fmt.Errorf("sim: engine %q cannot run graph %q: bitvector block %q needs a cycle engine (%q or %q)",
+				EngineFlow, g.Name, n.Label, EngineEvent, EngineNaive)
+		case graph.Reduce:
+			if n.RedN > 2 {
+				return fmt.Errorf("sim: engine %q cannot run graph %q: %d-dimensional reducer %q needs a cycle engine (%q or %q)",
+					EngineFlow, g.Name, n.RedN, n.Label, EngineEvent, EngineNaive)
+			}
+		}
+	}
+	return nil
 }
 
 // EngineFor resolves an engine selector; the empty kind selects the default
@@ -63,10 +103,18 @@ type cycleEngine struct {
 func (e cycleEngine) Name() string { return string(e.kind) }
 
 func (e cycleEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	p, err := NewProgram(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunProgram(p, inputs, opt)
+}
+
+func (e cycleEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
 	if opt.MaxCycles == 0 {
 		opt.MaxCycles = 2_000_000_000
 	}
-	b, err := newBuilder(g, inputs, opt)
+	b, err := newBuilder(p, inputs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -77,16 +125,14 @@ func (e cycleEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Opti
 		cycles, err = b.net.Run(opt.MaxCycles)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", g.Name, err)
+		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
 	}
 	out, err := b.assemble()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}}
-	for label, q := range b.monitored {
-		res.Streams[label] = &q.Stats
-	}
+	b.streams(res)
 	return res, nil
 }
 
@@ -97,7 +143,23 @@ type flowEngine struct{}
 func (flowEngine) Name() string { return string(EngineFlow) }
 
 func (flowEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	if err := CheckEngine(EngineFlow, g); err != nil {
+		return nil, err
+	}
 	out, err := flow.Run(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}}, nil
+}
+
+func (e flowEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	// The support check was precomputed at program build time; beyond it
+	// the goroutine executor has no input-independent setup to amortize.
+	if p.flowErr != nil {
+		return nil, p.flowErr
+	}
+	out, err := flow.Run(p.g, inputs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+
+	"sam/internal/bind"
+	"sam/internal/graph"
+	"sam/internal/tensor"
+)
+
+// Program is a compiled SAM graph plus every piece of execution state that
+// does not depend on the input tensors: the validated wiring (each input
+// port's feeding edge, each output port's fan-out group), the per-edge
+// stream labels, the operand binding plan, and the graph's canonical
+// fingerprint. Building a Program once and calling Run per request drops
+// per-request work to input binding and net construction — the split the
+// compiled-program cache in internal/serve is built on.
+//
+// A Program is immutable after NewProgram and safe for concurrent Run calls;
+// every run builds its own net and queues.
+type Program struct {
+	g    *graph.Graph
+	fp   string
+	plan *bind.Plan
+	// flowErr caches CheckEngine(EngineFlow, g): the support check is
+	// input-independent, so it is paid once here, not per request.
+	flowErr error
+
+	// labels holds each edge's producer-side "node/port" stream label.
+	labels []string
+	// inEdge maps each input port to the index of the edge feeding it.
+	inEdge map[portKey]int
+	// groupOf maps each driven output port to its fan-out group; groups
+	// lists each group's member edge indices (the first is the monitored
+	// stream for statistics).
+	groupOf map[portKey]int
+	groups  [][]int
+}
+
+// NewProgram validates a compiled graph and precomputes its execution plan.
+func NewProgram(g *graph.Graph) (*Program, error) {
+	if g == nil {
+		return nil, fmt.Errorf("sim: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		g: g, fp: g.Fingerprint(), plan: bind.NewPlan(g),
+		labels:  make([]string, len(g.Edges)),
+		inEdge:  make(map[portKey]int, len(g.Edges)),
+		groupOf: map[portKey]int{},
+	}
+	p.flowErr = CheckEngine(EngineFlow, g)
+	for i, e := range g.Edges {
+		p.labels[i] = fmt.Sprintf("%s/%s", g.Nodes[e.From].Label, e.FromPort)
+		p.inEdge[portKey{e.To, e.ToPort}] = i
+		k := portKey{e.From, e.FromPort}
+		gi, ok := p.groupOf[k]
+		if !ok {
+			gi = len(p.groups)
+			p.groups = append(p.groups, nil)
+			p.groupOf[k] = gi
+		}
+		p.groups[gi] = append(p.groups[gi], i)
+	}
+	return p, nil
+}
+
+// Graph returns the compiled graph the program executes.
+func (p *Program) Graph() *graph.Graph { return p.g }
+
+// Fingerprint returns the graph's canonical fingerprint (see
+// graph.Graph.Fingerprint), the program's cache identity.
+func (p *Program) Fingerprint() string { return p.fp }
+
+// CheckEngine reports whether the engine can execute this program. It is
+// the precomputed form of the package-level CheckEngine: no graph scan per
+// call, so request hot paths can validate per-request engine choices
+// against a cached program for free.
+func (p *Program) CheckEngine(kind EngineKind) error {
+	if _, err := EngineFor(kind); err != nil {
+		return err
+	}
+	if kind == EngineFlow {
+		return p.flowErr
+	}
+	return nil
+}
+
+// Run executes the program against one input binding on the engine
+// opt.Engine selects. It is equivalent to sim.Run on the program's graph but
+// skips validation and plan construction, which Run pays on every call.
+func (p *Program) Run(inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	eng, err := EngineFor(opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunProgram(p, inputs, opt)
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/graph"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// identical fails unless two results carry bit-identical outputs (same
+// dimensions, points, and values — no tolerance) and equal cycle counts.
+func identical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Errorf("%s: cycles %d != %d", label, got.Cycles, want.Cycles)
+	}
+	if !reflect.DeepEqual(got.Output.Dims, want.Output.Dims) {
+		t.Fatalf("%s: dims %v != %v", label, got.Output.Dims, want.Output.Dims)
+	}
+	if !reflect.DeepEqual(got.Output.Pts, want.Output.Pts) {
+		t.Fatalf("%s: output points differ", label)
+	}
+}
+
+// TestProgramDifferential proves cached-program execution is bit-identical
+// to uncached sim.Run: for a battery of kernels, every engine, and Par in
+// {1, 4}, a Program built once and run repeatedly (the cache hit path) must
+// reproduce the fresh-compile path exactly, including cycle counts on the
+// cycle engines.
+func TestProgramDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := tensor.UniformRandom("B", rng, 300, 60, 50)
+	c := tensor.UniformRandom("c", rng, 25, 50)
+	cc := tensor.UniformRandom("C", rng, 300, 50, 60)
+	kernels := []struct {
+		name   string
+		expr   string
+		inputs map[string]*tensor.COO
+	}{
+		{"spmv", "x(i) = B(i,j) * c(j)", map[string]*tensor.COO{"B": b, "c": c}},
+		{"spmspm", "X(i,j) = B(i,k) * C(k,j)", map[string]*tensor.COO{"B": b, "C": cc}},
+	}
+	for _, k := range kernels {
+		e := lang.MustParse(k.expr)
+		for _, par := range []int{1, 4} {
+			g, err := custard.Compile(e, nil, lang.Schedule{Par: par})
+			if err != nil {
+				t.Fatalf("%s par=%d: %v", k.name, par, err)
+			}
+			prog, err := NewProgram(g)
+			if err != nil {
+				t.Fatalf("%s par=%d: NewProgram: %v", k.name, par, err)
+			}
+			for _, kind := range []EngineKind{EngineEvent, EngineNaive, EngineFlow} {
+				label := fmt.Sprintf("%s par=%d %s", k.name, par, kind)
+				opt := Options{Engine: kind}
+				fresh, err := Run(g, k.inputs, opt)
+				if err != nil {
+					t.Fatalf("%s: uncached: %v", label, err)
+				}
+				// Two cached runs: the second exercises genuine reuse.
+				for trial := 0; trial < 2; trial++ {
+					cached, err := prog.Run(k.inputs, opt)
+					if err != nil {
+						t.Fatalf("%s: cached run %d: %v", label, trial, err)
+					}
+					identical(t, label, cached, fresh)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramConcurrentRuns shares one Program across goroutines (the
+// serving cache does exactly this) and checks, under -race, that concurrent
+// runs neither interfere nor diverge.
+func TestProgramConcurrentRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs := map[string]*tensor.COO{
+		"B": tensor.UniformRandom("B", rng, 200, 40, 40),
+		"c": tensor.UniformRandom("c", rng, 20, 40),
+	}
+	g, err := custard.Compile(lang.MustParse("x(i) = B(i,j) * c(j)"), nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prog.Run(inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := prog.Run(inputs, Options{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.Cycles != want.Cycles || !reflect.DeepEqual(res.Output.Pts, want.Output.Pts) {
+				errs[i] = fmt.Errorf("run %d diverged", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestProgramBatch routes precompiled programs through RunBatch and checks
+// parity with per-job Run.
+func TestProgramBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := map[string]*tensor.COO{
+		"B": tensor.UniformRandom("B", rng, 200, 40, 40),
+		"c": tensor.UniformRandom("c", rng, 20, 40),
+	}
+	g, err := custard.Compile(lang.MustParse("x(i) = B(i,j) * c(j)"), nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("job%d", i), Program: prog, Inputs: inputs}
+	}
+	results, err := RunBatch(jobs, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(g, inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		identical(t, fmt.Sprintf("batch job %d", i), res, want)
+	}
+}
+
+// TestNewProgramRejectsInvalid checks validation happens at program build
+// time, not mid-run.
+func TestNewProgramRejectsInvalid(t *testing.T) {
+	if _, err := NewProgram(nil); err == nil {
+		t.Errorf("NewProgram(nil) = nil error")
+	}
+	g := &graph.Graph{Name: "broken"}
+	n := g.AddNode(&graph.Node{Kind: graph.Repeat, Label: "rep"})
+	_ = n
+	if _, err := NewProgram(g); err == nil {
+		t.Errorf("NewProgram on a graph with unconnected ports = nil error")
+	}
+}
+
+// TestCheckEngineFlowLimits checks the up-front engine support validation:
+// gallop and bitvector graphs are rejected for the flow engine with a
+// descriptive error, while supported graphs (including Par graphs) pass.
+func TestCheckEngineFlowLimits(t *testing.T) {
+	spmv := lang.MustParse("x(i) = B(i,j) * c(j)")
+	plain, err := custard.Compile(spmv, nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := custard.Compile(spmv, nil, lang.Schedule{Par: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gallop, err := custard.Compile(spmv, nil, lang.Schedule{UseSkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []EngineKind{EngineEvent, EngineNaive, EngineFlow} {
+		if err := CheckEngine(kind, plain); err != nil {
+			t.Errorf("CheckEngine(%s, plain) = %v", kind, err)
+		}
+		if err := CheckEngine(kind, par); err != nil {
+			t.Errorf("CheckEngine(%s, par) = %v", kind, err)
+		}
+	}
+	if err := CheckEngine(EngineFlow, gallop); err == nil {
+		t.Errorf("CheckEngine(flow, gallop graph) = nil, want descriptive error")
+	}
+	if err := CheckEngine(EngineEvent, gallop); err != nil {
+		t.Errorf("CheckEngine(event, gallop graph) = %v", err)
+	}
+	if err := CheckEngine("warp", plain); err == nil {
+		t.Errorf("CheckEngine with unknown engine = nil error")
+	}
+	// The engine itself refuses up front, too.
+	if _, err := Run(gallop, nil, Options{Engine: EngineFlow}); err == nil {
+		t.Errorf("flow Run on gallop graph = nil error")
+	}
+}
+
+// BenchmarkRequestColdSetup measures the full per-request setup of the
+// uncached path: parse, compile, and program build (input binding and
+// execution excluded). Compare with BenchmarkRequestWarmSetup.
+func BenchmarkRequestColdSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := lang.Parse("x(i) = B(i,j) * c(j)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := custard.Compile(e, nil, lang.Schedule{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewProgram(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRequestWarmSetup measures the cache-hit path's setup: a canonical
+// key computation (what the serving cache pays before its map lookup).
+func BenchmarkRequestWarmSetup(b *testing.B) {
+	e := lang.MustParse("x(i) = B(i,j) * c(j)")
+	for i := 0; i < b.N; i++ {
+		_ = lang.CanonicalKey(e, nil, lang.Schedule{})
+	}
+}

@@ -18,7 +18,6 @@ package sim
 import (
 	"fmt"
 
-	"sam/internal/bind"
 	"sam/internal/core"
 	"sam/internal/fiber"
 	"sam/internal/graph"
@@ -62,20 +61,23 @@ func Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, e
 	return eng.Run(g, inputs, opt)
 }
 
+// builder is the run-time half of a simulation: it materializes one net —
+// queues, fan-outs, block instances, writers — for one input binding of a
+// Program. All graph traversal and validation happened at Program build
+// time; the builder only allocates and wires.
 type builder struct {
-	g         *graph.Graph
-	opt       Options
-	net       *core.Net
-	arena     *core.VecArena
-	bound     map[string]*fiber.Tensor // operand name -> storage
-	dims      []int                    // output level dims
-	inQ       map[portKey]*core.Queue
-	outs      map[portKey]*core.Out
-	crdWr     map[int]*core.CrdWriter // output level -> writer
-	valsWr    *core.ValsWriter
-	bvWr      map[int]*core.BVWriter
-	vecWr     *core.VecValsWriter
-	monitored map[string]*core.Queue
+	p      *Program
+	opt    Options
+	net    *core.Net
+	arena  *core.VecArena
+	bound  map[string]*fiber.Tensor // operand name -> storage
+	dims   []int                    // output level dims
+	queues []*core.Queue            // one per graph edge, program order
+	outs   []*core.Out              // one per fan-out group, program order
+	crdWr  map[int]*core.CrdWriter  // output level -> writer
+	valsWr *core.ValsWriter
+	bvWr   map[int]*core.BVWriter
+	vecWr  *core.VecValsWriter
 }
 
 type portKey struct {
@@ -83,37 +85,36 @@ type portKey struct {
 	port string
 }
 
-func newBuilder(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*builder, error) {
+func newBuilder(p *Program, inputs map[string]*tensor.COO, opt Options) (*builder, error) {
 	b := &builder{
-		g: g, opt: opt, net: &core.Net{}, arena: &core.VecArena{},
-		bound: map[string]*fiber.Tensor{}, inQ: map[portKey]*core.Queue{},
-		outs: map[portKey]*core.Out{}, crdWr: map[int]*core.CrdWriter{},
-		bvWr: map[int]*core.BVWriter{}, monitored: map[string]*core.Queue{},
+		p: p, opt: opt, net: &core.Net{}, arena: &core.VecArena{},
+		crdWr: map[int]*core.CrdWriter{}, bvWr: map[int]*core.BVWriter{},
 	}
-	if err := b.bind(inputs); err != nil {
+	var err error
+	if b.bound, err = p.plan.Operands(inputs); err != nil {
 		return nil, err
 	}
-	if err := b.resolveDims(inputs); err != nil {
+	if b.dims, err = p.plan.OutputDims(inputs); err != nil {
 		return nil, err
 	}
-	// One queue per edge, one Out per (node, port) fan-out group.
-	for _, e := range g.Edges {
-		label := fmt.Sprintf("%s/%s", g.Nodes[e.From].Label, e.FromPort)
-		var q *core.Queue
+	// One queue per edge, one Out per fan-out group, as the program planned.
+	b.queues = make([]*core.Queue, len(p.g.Edges))
+	for i := range p.g.Edges {
 		if opt.QueueCap > 0 {
-			q = b.net.NewBoundedQueue(label, opt.QueueCap)
+			b.queues[i] = b.net.NewBoundedQueue(p.labels[i], opt.QueueCap)
 		} else {
-			q = b.net.NewQueue(label)
+			b.queues[i] = b.net.NewQueue(p.labels[i])
 		}
-		b.inQ[portKey{e.To, e.ToPort}] = q
-		k := portKey{e.From, e.FromPort}
-		if b.outs[k] == nil {
-			b.outs[k] = core.NewOut()
-			b.monitored[label] = q
-		}
-		b.outs[k].Attach(q)
 	}
-	for _, n := range g.Nodes {
+	b.outs = make([]*core.Out, len(p.groups))
+	for gi, members := range p.groups {
+		o := core.NewOut()
+		for _, ei := range members {
+			o.Attach(b.queues[ei])
+		}
+		b.outs[gi] = o
+	}
+	for _, n := range p.g.Nodes {
 		blk, err := b.instantiate(n)
 		if err != nil {
 			return nil, err
@@ -125,40 +126,30 @@ func newBuilder(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*bu
 	return b, nil
 }
 
-// bind builds each operand's fibertree storage from its source tensor.
-func (b *builder) bind(inputs map[string]*tensor.COO) error {
-	bound, err := bind.Operands(b.g, inputs)
-	if err != nil {
-		return err
-	}
-	b.bound = bound
-	return nil
-}
-
-func (b *builder) resolveDims(inputs map[string]*tensor.COO) error {
-	dims, err := bind.OutputDims(b.g, inputs)
-	if err != nil {
-		return err
-	}
-	b.dims = dims
-	return nil
-}
-
 // in returns the queue feeding an input port.
 func (b *builder) in(n *graph.Node, port string) (*core.Queue, error) {
-	q, ok := b.inQ[portKey{n.ID, port}]
+	i, ok := b.p.inEdge[portKey{n.ID, port}]
 	if !ok {
 		return nil, fmt.Errorf("sim: node %q input port %q unconnected", n.Label, port)
 	}
-	return q, nil
+	return b.queues[i], nil
 }
 
 // out returns the output port (empty, token-discarding, if unconnected).
 func (b *builder) out(n *graph.Node, port string) *core.Out {
-	if o, ok := b.outs[portKey{n.ID, port}]; ok {
-		return o
+	if gi, ok := b.p.groupOf[portKey{n.ID, port}]; ok {
+		return b.outs[gi]
 	}
 	return core.NewOut()
+}
+
+// streams records each monitored stream's statistics into a Result: the
+// first queue of every fan-out group, keyed by its producer label.
+func (b *builder) streams(res *Result) {
+	for _, members := range b.p.groups {
+		ei := members[0]
+		res.Streams[b.p.labels[ei]] = &b.queues[ei].Stats
+	}
 }
 
 // drvQueues fetches a deep serializer's per-lane rotation-driver queues.
@@ -542,7 +533,7 @@ func (b *builder) instantiate(n *graph.Node) (core.Block, error) {
 // assemble builds the output tensor from the writers, in the loop order the
 // graph produced it, then permutes to the user's left-hand-side order.
 func (b *builder) assemble() (*tensor.COO, error) {
-	g := b.g
+	g := b.p.g
 	order := len(g.OutputVars)
 	ft := &fiber.Tensor{Name: g.OutputTensor, Dims: b.dims}
 	if b.valsWr != nil {

@@ -19,8 +19,27 @@
 // blocks with newly visible input, freed backpressure space, or pending
 // internal work; the naive tick-all reference loop (EngineNaive), which is
 // bit-identical and exists for differential testing; and the functional
-// goroutine-per-block executor (EngineFlow), which computes outputs without
-// cycle counts.
+// goroutine-per-block executor (EngineFlow). EngineFlow's limitations are
+// documented on the sim.EngineFlow constant (re-exported here): it computes
+// outputs only — no cycle counts, no stream statistics — and rejects graphs
+// using gallop or bitvector blocks up front via CheckEngine.
+//
+// # Serving
+//
+// The paper treats a compiled graph as a reusable hardware program: compile
+// once, stream many tensors through it. NewProgram captures that split —
+// it precomputes everything input-independent (validation, wiring plan,
+// binding plan, fingerprint) so repeated Program.Run calls pay only input
+// binding and net construction:
+//
+//	p, err := sam.CompileProgram("x(i) = B(i,j) * c(j)", nil, sam.Schedule{})
+//	res1, err := p.Run(sam.Inputs{"B": b1, "c": c1}, sam.Options{})
+//	res2, err := p.Run(sam.Inputs{"B": b2, "c": c2}, sam.Options{})
+//
+// NewServer wraps that in a network service — a compiled-program LRU cache,
+// an admission-controlled job queue over SimulateBatch, and an HTTP/JSON
+// API — run by cmd/samserve (see the README's Serving section for the wire
+// format and a curl walkthrough).
 //
 // # Parallelization
 //
@@ -57,6 +76,7 @@ import (
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
+	"sam/internal/serve"
 	"sam/internal/sim"
 	"sam/internal/tensor"
 )
@@ -101,8 +121,30 @@ const (
 	EngineFlow  = sim.EngineFlow
 )
 
-// Job is one graph + input binding for SimulateBatch.
+// Job is one graph + input binding for SimulateBatch. Setting Job.Program
+// instead of Job.Graph runs a precompiled Program, skipping per-job
+// validation and planning.
 type Job = sim.Job
+
+// Program is a compiled, reusable SAM program: a graph plus the
+// precomputed, input-independent execution plan (validated wiring, operand
+// binding plan, canonical fingerprint). Build one with NewProgram or
+// CompileProgram and call Run per request; a Program is immutable and safe
+// for concurrent Run calls. This is the unit the serving cache stores.
+type Program = sim.Program
+
+// Server is the SAM program service: a compiled-program LRU cache keyed by
+// the canonical (expression, formats, schedule) key (lang.CanonicalKey), an
+// admission-controlled asynchronous job queue routed through the batch
+// simulator, and an HTTP/JSON API (POST /v1/evaluate, POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/stats). Mount it as an http.Handler; Close
+// drains gracefully: admission stops and every queued and running job
+// finishes. cmd/samserve is the standalone binary.
+type Server = serve.Server
+
+// ServerConfig sizes a Server: worker pool, admission queue depth,
+// program-cache capacity, and micro-batch width.
+type ServerConfig = serve.Config
 
 // Level storage formats (paper Sections 3.1 and 4.3).
 const (
@@ -173,6 +215,29 @@ func Simulate(g *Graph, inputs Inputs, opt Options) (*Result, error) {
 func SimulateBatch(jobs []Job, opt Options) ([]*Result, error) {
 	return sim.RunBatch(jobs, opt)
 }
+
+// NewProgram precompiles a graph into a reusable Program: the graph is
+// validated and its execution plan built once, so every Program.Run pays
+// only input binding and net construction.
+func NewProgram(g *Graph) (*Program, error) { return sim.NewProgram(g) }
+
+// CompileProgram is Compile followed by NewProgram: one call from tensor
+// index notation to a reusable program.
+func CompileProgram(expr string, formats Formats, sched Schedule) (*Program, error) {
+	g, err := Compile(expr, formats, sched)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewProgram(g)
+}
+
+// NewServer builds a SAM program service with the given sizing; zero
+// fields take defaults.
+func NewServer(cfg ServerConfig) *Server { return serve.NewServer(cfg) }
+
+// CheckEngine reports up front whether an engine can execute a graph
+// (EngineFlow supports the core block set only; see sim.EngineFlow).
+func CheckEngine(kind EngineKind, g *Graph) error { return sim.CheckEngine(kind, g) }
 
 // Evaluate computes the statement directly on dense data — the gold
 // reference the simulator is validated against.

@@ -1,7 +1,10 @@
 package sam
 
 import (
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -172,5 +175,77 @@ func TestFacadeEngines(t *testing.T) {
 	}
 	if _, err := Simulate(g, inputs, Options{Engine: "warp"}); err == nil {
 		t.Error("unknown engine not surfaced")
+	}
+}
+
+// TestFacadeProgramAndServer exercises the serving surface: a compiled
+// Program reused across runs matches one-shot Simulate exactly, the
+// fingerprint is stable, CheckEngine validates up front, and a Server
+// round-trips one HTTP evaluation.
+func TestFacadeProgramAndServer(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	B := RandomTensor("B", rng, 150, 40, 30)
+	c := RandomTensor("c", rng, 15, 30)
+	inputs := Inputs{"B": B, "c": c}
+
+	p, err := CompileProgram("x(i) = B(i,j) * c(j)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fingerprint()) != 32 {
+		t.Errorf("fingerprint %q", p.Fingerprint())
+	}
+	g, err := Compile("x(i) = B(i,j) * c(j)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != p.Fingerprint() {
+		t.Errorf("program and graph fingerprints differ")
+	}
+	want, err := Simulate(g, inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ {
+		got, err := p.Run(inputs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != want.Cycles {
+			t.Errorf("trial %d: cycles %d != %d", trial, got.Cycles, want.Cycles)
+		}
+		if err := Equal(got.Output, want.Output, 0); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+	if err := CheckEngine(EngineFlow, g); err != nil {
+		t.Errorf("CheckEngine(flow, spmv) = %v", err)
+	}
+	gallop, err := Compile("x(i) = b(i) * c(i)", nil, Schedule{UseSkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEngine(EngineFlow, gallop); err == nil {
+		t.Error("CheckEngine(flow, gallop) = nil, want error")
+	}
+
+	srv := NewServer(ServerConfig{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := `{"expr": "x(i) = b(i) * c(i)", "inputs": {
+	  "b": {"dims": [3], "coords": [[0],[2]], "values": [2,3]},
+	  "c": {"dims": [3], "coords": [[1],[2]], "values": [5,7]}}}`
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(out), `"values":[21]`) {
+		t.Errorf("evaluate status %d body %s", resp.StatusCode, out)
 	}
 }
