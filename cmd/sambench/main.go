@@ -11,9 +11,10 @@
 //	sambench -engine naive   # re-run the evaluation on the tick-all loop
 //	sambench -exp parallel -par 1,2,4,8,16     # lane-scaling study
 //	sambench -exp serve -json > BENCH_PR3.json # serving cache + scaling study
+//	sambench -exp opt -json > BENCH_PR4.json   # graph-optimizer study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel, engines, parallel, serve.
+// fig15, pointlevel, engines, parallel, serve, opt.
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -219,6 +220,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderServe(res), res, nil
+	case "opt":
+		rows, err := experiments.OptStudy(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderOpt(rows), rows, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"sam/internal/opt"
 	"sam/internal/serve"
 )
 
@@ -52,11 +53,21 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	queueDepth := fs.Int("queue", 64, "admission queue depth (submissions beyond it get 429)")
 	cacheSize := fs.Int("cache", 128, "compiled-program LRU capacity")
 	batchMax := fs.Int("batch", 1, "max jobs one worker batches through SimulateBatch")
+	optLevel := fs.Int("O", 0, "default graph-optimization level for requests that omit schedule.opt")
+	maxBody := fs.Int64("maxbody", 8<<20, "request body size limit in bytes (oversized payloads get 413)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 || *batchMax < 1 {
 		fmt.Fprintln(stderr, "samserve: -workers, -queue, -cache and -batch must be positive")
+		return 2
+	}
+	if *optLevel < 0 || *optLevel > opt.MaxLevel {
+		fmt.Fprintf(stderr, "samserve: unknown -O level %d (the optimizer knows levels 0..%d)\n", *optLevel, opt.MaxLevel)
+		return 2
+	}
+	if *maxBody < 1 {
+		fmt.Fprintln(stderr, "samserve: -maxbody must be positive")
 		return 2
 	}
 
@@ -68,10 +79,11 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	s := serve.NewServer(serve.Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		CacheSize: *cacheSize, BatchMax: *batchMax,
+		DefaultOpt: *optLevel, MaxBodyBytes: *maxBody,
 	})
 	httpSrv := &http.Server{Handler: s}
-	fmt.Fprintf(stdout, "samserve: listening on http://%s (workers=%d queue=%d cache=%d batch=%d)\n",
-		ln.Addr(), *workers, *queueDepth, *cacheSize, *batchMax)
+	fmt.Fprintf(stdout, "samserve: listening on http://%s (workers=%d queue=%d cache=%d batch=%d opt=%d)\n",
+		ln.Addr(), *workers, *queueDepth, *cacheSize, *batchMax, *optLevel)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

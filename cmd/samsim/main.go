@@ -8,11 +8,13 @@
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -mtx B=matrix.mtx -density 0.1
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -par 4     # 4-lane parallel graph
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -skip      # galloping intersections
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1       # run the graph optimizer
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1 -dot  # print the optimized graph
 //
 // Flag combinations are validated before simulation: the flow engine
 // rejects graphs it cannot run (gallop/bitvector blocks) and cycle-model
 // flags it ignores (-queue) with a clear error up front instead of failing
-// mid-run.
+// mid-run, and -O rejects levels the optimizer does not know.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 
 	"sam/internal/custard"
 	"sam/internal/lang"
+	"sam/internal/opt"
 	"sam/internal/sim"
 	"sam/internal/tensor"
 )
@@ -49,6 +52,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 0, "parallelize the graph across this many lanes (0/1 = sequential)")
 	skip := fs.Bool("skip", false, "fuse two-way intersections into galloping (coordinate-skipping) blocks")
 	locate := fs.Bool("locate", false, "rewrite intersections against locatable (dense) levels into locator blocks")
+	optLevel := fs.Int("O", 0, "graph optimization level (0 = paper-faithful graph, 1 = full rewrite pipeline)")
+	dot := fs.Bool("dot", false, "print the compiled (and, with -O 1, optimized) graph in Graphviz DOT and exit")
 	engine := fs.String("engine", "", "simulation engine: event (default), naive, or flow")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
@@ -64,6 +69,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "samsim: -expr is required")
 		fs.Usage()
 		return 2
+	}
+	if *optLevel < 0 || *optLevel > opt.MaxLevel {
+		return fail(fmt.Errorf("unknown -O level %d (the optimizer knows levels 0..%d)", *optLevel, opt.MaxLevel))
 	}
 	e, err := lang.Parse(*expr)
 	if err != nil {
@@ -89,6 +97,31 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return d
 		}
 		return 100
+	}
+
+	sched := lang.Schedule{Par: *par, UseSkip: *skip, UseLocators: *locate}
+	if *order != "" {
+		sched.LoopOrder = strings.Split(*order, ",")
+	}
+	g, err := custard.Compile(e, nil, sched)
+	if err != nil {
+		return fail(err)
+	}
+	// Optimize the lowered graph here rather than through Schedule.Opt: the
+	// returned report carries the removed-block delta for the summary line
+	// without a second compilation.
+	var optReport *opt.Report
+	if *optLevel > 0 {
+		if optReport, err = opt.Optimize(g, *optLevel); err != nil {
+			return fail(err)
+		}
+	}
+	if *dot {
+		// Print the graph that would simulate — optimized when -O says so —
+		// and stop before binding any data; -dot is a compile-time
+		// inspection mode.
+		fmt.Fprint(stdout, g.DOT())
+		return 0
 	}
 
 	inputs := map[string]*tensor.COO{}
@@ -134,14 +167,6 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
 	}
 
-	sched := lang.Schedule{Par: *par, UseSkip: *skip, UseLocators: *locate}
-	if *order != "" {
-		sched.LoopOrder = strings.Split(*order, ",")
-	}
-	g, err := custard.Compile(e, nil, sched)
-	if err != nil {
-		return fail(err)
-	}
 	// Validate the flag combination before simulating: a clear error now
 	// beats a mid-run block failure (flow cannot execute gallop/bitvector
 	// graphs) or a silently ignored flag (flow has no cycle model, so
@@ -159,6 +184,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "expression:  %s\n", e)
 	fmt.Fprintf(stdout, "graph:       %d nodes, %d edges\n", len(g.Nodes), len(g.Edges))
+	if optReport != nil {
+		fmt.Fprintf(stdout, "optimizer:   -O%d removed %d of %d blocks\n",
+			optReport.Level, optReport.NodesBefore-optReport.NodesAfter, optReport.NodesBefore)
+	}
 	if *par > 1 {
 		fmt.Fprintf(stdout, "lanes:       %d\n", *par)
 	}

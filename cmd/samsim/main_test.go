@@ -81,6 +81,50 @@ func TestSmokeSkip(t *testing.T) {
 	}
 }
 
+// TestSmokeOptimized runs the same statement at -O 1 on every engine: the
+// gold check must still pass and the optimizer line must report its delta.
+func TestSmokeOptimized(t *testing.T) {
+	for _, eng := range []string{"", "naive", "flow"} {
+		var stdout, stderr bytes.Buffer
+		code := realMain([]string{
+			"-expr", "X(i,j) = B(i,j) * B(i,j)",
+			"-dims", "i=20,j=16", "-density", "0.2",
+			"-O", "1", "-engine", eng,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("engine %q: exit %d, stderr: %s", eng, code, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{"optimizer:   -O1 removed", "gold check:  PASSED"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("engine %q: output missing %q:\n%s", eng, want, out)
+			}
+		}
+	}
+}
+
+// TestDotPrintsGraph checks -dot prints Graphviz instead of simulating, and
+// that -O 1 shrinks the printed graph.
+func TestDotPrintsGraph(t *testing.T) {
+	render := func(extra ...string) string {
+		var stdout, stderr bytes.Buffer
+		args := append([]string{"-expr", "X(i,j) = B(i,j) * B(i,j)", "-dot"}, extra...)
+		if code := realMain(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("args %v: exit %d, stderr: %s", args, code, stderr.String())
+		}
+		out := stdout.String()
+		if !strings.HasPrefix(out, "digraph") || strings.Contains(out, "cycles:") {
+			t.Fatalf("-dot should print DOT only:\n%s", out)
+		}
+		return out
+	}
+	plain := render()
+	optimized := render("-O", "1")
+	if strings.Count(optimized, "\n") >= strings.Count(plain, "\n") {
+		t.Errorf("-O 1 -dot did not shrink the graph:\nO0:\n%s\nO1:\n%s", plain, optimized)
+	}
+}
+
 // TestFlagCombinationValidation checks illegal engine/flag combinations
 // fail up front with a diagnostic naming the conflict, not mid-run.
 func TestFlagCombinationValidation(t *testing.T) {
@@ -90,6 +134,8 @@ func TestFlagCombinationValidation(t *testing.T) {
 	}{
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-skip", "-engine", "flow"}, "gallop"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "flow", "-queue", "4"}, "-queue"},
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "2"}, "unknown -O level 2"},
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "-1"}, "unknown -O level -1"},
 	}
 	for _, c := range cases {
 		var stdout, stderr bytes.Buffer

@@ -24,6 +24,7 @@ import (
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
+	"sam/internal/opt"
 )
 
 // Compile lowers one statement to a SAM dataflow graph.
@@ -34,6 +35,9 @@ func Compile(e *lang.Einsum, formats lang.Formats, sched lang.Schedule) (*graph.
 	}
 	if sched.Par < 0 {
 		return nil, fmt.Errorf("custard: Schedule.Par = %d, want >= 0", sched.Par)
+	}
+	if sched.Opt < 0 || sched.Opt > opt.MaxLevel {
+		return nil, fmt.Errorf("custard: Schedule.Opt = %d, want 0..%d", sched.Opt, opt.MaxLevel)
 	}
 	c := &compiler{
 		e:       e,
@@ -56,6 +60,9 @@ func Compile(e *lang.Einsum, formats lang.Formats, sched lang.Schedule) (*graph.
 	}
 	if err := c.g.Validate(); err != nil {
 		return nil, fmt.Errorf("custard: produced invalid graph: %w", err)
+	}
+	if _, err := opt.Optimize(c.g, sched.Opt); err != nil {
+		return nil, err
 	}
 	return c.g, nil
 }

@@ -379,6 +379,12 @@ func Run(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 		}
 		ft.Levels = append(ft.Levels, &fiber.CompressedLevel{N: dims[lvl], Seg: seg, Crd: crd})
 	}
+	// Optimized graphs bypass coordinate-mode droppers; rebuild the fiber
+	// count of all-empty levels from the parent, as the cycle engine does.
+	// Unoptimized graphs keep the strict Validate tripwire.
+	if g.OptLevel > 0 {
+		ft.NormalizeEmptyLevels()
+	}
 	if err := ft.Validate(); err != nil {
 		return nil, fmt.Errorf("flow: assembled output invalid: %w", err)
 	}

@@ -21,11 +21,15 @@ import (
 // identical, which makes the fingerprint usable as a compiled-program cache
 // key: it distinguishes storage formats (including bitvector pipelines),
 // loop orders, lane counts (Schedule.Par changes the replicated sub-graph),
-// and optimization rewrites (gallop, locators).
+// and optimization rewrites (gallop, locators). OptLevel is part of the
+// structure: it selects assembly-time behavior (empty-level reconciliation),
+// so an optimized graph never aliases an unoptimized one even when the
+// pipeline rewrote nothing.
 func (g *Graph) Fingerprint() string {
 	h := sha256.New()
 	w := fpWriter{h: h}
 	w.str(g.Expr)
+	w.num(g.OptLevel)
 	w.num(len(g.Nodes))
 	for _, n := range g.Nodes {
 		w.num(int(n.Kind))

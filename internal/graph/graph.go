@@ -170,6 +170,13 @@ type Graph struct {
 	Nodes []*Node
 	Edges []*Edge
 
+	// OptLevel records the optimization level applied to the graph (0 = as
+	// lowered, the paper-faithful form). internal/opt sets it; the output
+	// assemblers use it to decide whether all-empty levels need their fiber
+	// counts reconciled (bypassed coordinate droppers make them ambiguous),
+	// so unoptimized graphs keep the strict validation tripwire.
+	OptLevel int
+
 	Bindings []Binding
 
 	// Output metadata: the result tensor's name, level formats and level
@@ -181,6 +188,38 @@ type Graph struct {
 	OutputDims    []DimRef
 	OutputVars    []string
 	LHSVars       []string
+}
+
+// Clone returns a deep copy of the graph: nodes, edges, bindings, and output
+// metadata are all fresh allocations, so rewriting passes can transform the
+// copy while callers keep the original for differential comparison.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Name: g.Name, Expr: g.Expr, OptLevel: g.OptLevel,
+		OutputTensor: g.OutputTensor,
+		OutputFormats: append([]fiber.Format(nil), g.OutputFormats...),
+		OutputDims:    append([]DimRef(nil), g.OutputDims...),
+		OutputVars:    append([]string(nil), g.OutputVars...),
+		LHSVars:       append([]string(nil), g.LHSVars...),
+	}
+	c.Nodes = make([]*Node, len(g.Nodes))
+	for i, n := range g.Nodes {
+		cp := *n
+		c.Nodes[i] = &cp
+	}
+	c.Edges = make([]*Edge, len(g.Edges))
+	for i, e := range g.Edges {
+		cp := *e
+		c.Edges[i] = &cp
+	}
+	c.Bindings = make([]Binding, len(g.Bindings))
+	for i, b := range g.Bindings {
+		cp := b
+		cp.ModeOrder = append([]int(nil), b.ModeOrder...)
+		cp.Formats = append([]fiber.Format(nil), b.Formats...)
+		c.Bindings[i] = cp
+	}
+	return c
 }
 
 // AddNode appends a node, assigning its ID.

@@ -21,7 +21,7 @@ func (s Schedule) Canonical() string {
 		}
 		fmt.Fprintf(&b, "%q", v)
 	}
-	fmt.Fprintf(&b, ";loc=%t;skip=%t;par=%d", s.UseLocators, s.UseSkip, s.Par)
+	fmt.Fprintf(&b, ";loc=%t;skip=%t;par=%d;opt=%d", s.UseLocators, s.UseSkip, s.Par, s.Opt)
 	return b.String()
 }
 

@@ -24,7 +24,7 @@ func TestCanonicalKeyDeterministic(t *testing.T) {
 			t.Fatalf("key unstable: %q vs %q", key, again)
 		}
 	}
-	for _, want := range []string{"X(i,j)", `"B":dense,compressed`, "modes=1,0", `order="i","k","j"`, "par=4", "skip=true"} {
+	for _, want := range []string{"X(i,j)", `"B":dense,compressed`, "modes=1,0", `order="i","k","j"`, "par=4", "skip=true", "opt=0"} {
 		if !strings.Contains(key, want) {
 			t.Errorf("key %q missing %q", key, want)
 		}
@@ -61,6 +61,7 @@ func TestCanonicalKeyDistinguishes(t *testing.T) {
 		"par":      CanonicalKey(e, nil, Schedule{Par: 4}),
 		"locators": CanonicalKey(e, nil, Schedule{UseLocators: true}),
 		"skip":     CanonicalKey(e, nil, Schedule{UseSkip: true}),
+		"opt":      CanonicalKey(e, nil, Schedule{Opt: 1}),
 	}
 	seen := map[string]string{base: "base"}
 	for name, k := range variants {

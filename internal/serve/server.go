@@ -18,6 +18,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -27,6 +28,7 @@ import (
 
 	"sam/internal/custard"
 	"sam/internal/lang"
+	"sam/internal/opt"
 	"sam/internal/sim"
 	"sam/internal/tensor"
 )
@@ -46,6 +48,15 @@ type Config struct {
 	// concurrently, so peak simulation parallelism is Workers × BatchMax.
 	// Default 1.
 	BatchMax int
+	// DefaultOpt is the graph-optimization level applied to requests whose
+	// schedule omits "opt" (see internal/opt). Out-of-range values are
+	// clamped into [0, opt.MaxLevel] like the other sizing fields, so a
+	// misconfigured server never turns opt-omitting requests into 400s.
+	// The resolved level is part of the program-cache key. Default 0.
+	DefaultOpt int
+	// MaxBodyBytes bounds the request body; oversized payloads are rejected
+	// with 413 before decoding. Default 8 MiB.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +71,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultOpt < 0 {
+		c.DefaultOpt = 0
+	}
+	if c.DefaultOpt > opt.MaxLevel {
+		c.DefaultOpt = opt.MaxLevel
 	}
 	return c
 }
@@ -150,7 +170,7 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := req.Schedule.toSchedule()
+	sched, err := req.Schedule.toSchedule(s.cfg.DefaultOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +399,7 @@ func (s *Server) Stats() StatsResponse {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -405,7 +425,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -443,12 +463,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // decodeRequest reads and strictly decodes an evaluation body; unknown
-// fields are rejected so client typos fail loudly.
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*EvaluateRequest, bool) {
-	dec := json.NewDecoder(r.Body)
+// fields are rejected so client typos fail loudly, and bodies beyond
+// Config.MaxBodyBytes are rejected with 413 before buffering unboundedly.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*EvaluateRequest, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	var req EvaluateRequest
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return nil, false
 	}

@@ -5,6 +5,7 @@ import (
 
 	"sam/internal/fiber"
 	"sam/internal/lang"
+	"sam/internal/opt"
 	"sam/internal/sim"
 	"sam/internal/tensor"
 )
@@ -32,6 +33,12 @@ type WireSchedule struct {
 	UseLocators bool     `json:"use_locators,omitempty"`
 	UseSkip     bool     `json:"use_skip,omitempty"`
 	Par         int      `json:"par,omitempty"`
+	// Opt selects the graph-optimization level (internal/opt): 0 compiles
+	// the paper-faithful graph, 1 runs the rewrite pipeline. Omitted means
+	// the server's configured default (Config.DefaultOpt). The resolved
+	// level is part of the program-cache key, so requests at different
+	// levels never alias.
+	Opt *int `json:"opt,omitempty"`
 }
 
 // WireOptions carries the per-request simulation options.
@@ -107,6 +114,7 @@ func (w WireTensor) toCOO(name string) (*tensor.COO, error) {
 		return nil, fmt.Errorf("input %q: %d coords but %d values", name, len(w.Coords), len(w.Values))
 	}
 	t := tensor.NewCOO(name, w.Dims...)
+	seen := make(map[string]int, len(w.Coords))
 	for i, crd := range w.Coords {
 		if len(crd) != len(w.Dims) {
 			return nil, fmt.Errorf("input %q: coord %d has arity %d, want %d", name, i, len(crd), len(w.Dims))
@@ -116,6 +124,11 @@ func (w WireTensor) toCOO(name string) (*tensor.COO, error) {
 				return nil, fmt.Errorf("input %q: coord %d mode %d = %d outside [0,%d)", name, i, m, c, w.Dims[m])
 			}
 		}
+		key := fmt.Sprint(crd)
+		if j, dup := seen[key]; dup {
+			return nil, fmt.Errorf("input %q: coord %d duplicates coord %d (%v); COO inputs must have unique coordinates", name, i, j, crd)
+		}
+		seen[key] = i
 		t.Append(w.Values[i], crd...)
 	}
 	return t, nil
@@ -172,16 +185,24 @@ func toFormats(ws map[string]WireFormat) (lang.Formats, error) {
 }
 
 // toSchedule converts the wire schedule; nil means the default schedule.
-func (w *WireSchedule) toSchedule() (lang.Schedule, error) {
+// defaultOpt fills the optimization level when the request omits it.
+func (w *WireSchedule) toSchedule(defaultOpt int) (lang.Schedule, error) {
 	if w == nil {
-		return lang.Schedule{}, nil
+		return lang.Schedule{Opt: defaultOpt}, nil
 	}
 	if w.Par < 0 {
 		return lang.Schedule{}, fmt.Errorf("schedule: negative par %d", w.Par)
 	}
+	level := defaultOpt
+	if w.Opt != nil {
+		level = *w.Opt
+		if level < 0 || level > opt.MaxLevel {
+			return lang.Schedule{}, fmt.Errorf("schedule: unknown opt level %d (want 0..%d)", level, opt.MaxLevel)
+		}
+	}
 	return lang.Schedule{
 		LoopOrder: w.LoopOrder, UseLocators: w.UseLocators,
-		UseSkip: w.UseSkip, Par: w.Par,
+		UseSkip: w.UseSkip, Par: w.Par, Opt: level,
 	}, nil
 }
 

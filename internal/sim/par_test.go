@@ -15,11 +15,7 @@ import (
 // parallel lane partials (which reassociate reductions across lanes) must be
 // bit-identical to the sequential result, and both to the gold model.
 func quantize(r *rand.Rand, ts ...*tensor.COO) {
-	for _, t := range ts {
-		for i := range t.Pts {
-			t.Pts[i].Val = float64(r.Intn(7) + 1)
-		}
-	}
+	tensor.QuantizeInts(r, 7, ts...)
 }
 
 func quantizeInputs(r *rand.Rand, inputs map[string]*tensor.COO) {

@@ -292,6 +292,50 @@ func UniformRandom(name string, rng *rand.Rand, nnz int, dims ...int) *COO {
 	return c
 }
 
+// IdenticalBits reports whether two COO tensors are bitwise identical:
+// same dimensions, same points in the same order, coordinates and values
+// compared exactly (explicit zeros included). This is the optimizer's and
+// the lane batteries' correctness bar — stricter than Equal, which sorts,
+// tolerates eps, and ignores explicit zeros. A nil error means identical.
+func IdenticalBits(a, b *COO) error {
+	if len(a.Dims) != len(b.Dims) {
+		return fmt.Errorf("order %d vs %d", len(a.Dims), len(b.Dims))
+	}
+	for m := range a.Dims {
+		if a.Dims[m] != b.Dims[m] {
+			return fmt.Errorf("dims %v vs %v", a.Dims, b.Dims)
+		}
+	}
+	if len(a.Pts) != len(b.Pts) {
+		return fmt.Errorf("%d points vs %d", len(a.Pts), len(b.Pts))
+	}
+	for i := range a.Pts {
+		p, q := a.Pts[i], b.Pts[i]
+		if p.Val != q.Val {
+			return fmt.Errorf("point %d: %v=%g vs %v=%g", i, p.Crd, p.Val, q.Crd, q.Val)
+		}
+		for m := range p.Crd {
+			if p.Crd[m] != q.Crd[m] {
+				return fmt.Errorf("point %d: %v=%g vs %v=%g", i, p.Crd, p.Val, q.Crd, q.Val)
+			}
+		}
+	}
+	return nil
+}
+
+// QuantizeInts replaces every stored value with a small nonzero integer
+// drawn from [1, max]. Integer values keep floating-point sums exact
+// regardless of association, so differential batteries that reassociate
+// reductions — parallel lane partials, optimizer rewrites — can demand
+// bit-identical outputs instead of tolerance comparisons.
+func QuantizeInts(rng *rand.Rand, max int, ts ...*COO) {
+	for _, t := range ts {
+		for i := range t.Pts {
+			t.Pts[i].Val = float64(rng.Intn(max) + 1)
+		}
+	}
+}
+
 // UniformRandomDensity generates a tensor where each component is nonzero
 // independently with the given density.
 func UniformRandomDensity(name string, rng *rand.Rand, density float64, dims ...int) *COO {

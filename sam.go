@@ -41,6 +41,21 @@
 // API — run by cmd/samserve (see the README's Serving section for the wire
 // format and a curl walkthrough).
 //
+// # Optimization
+//
+// Schedule{Opt: 1} runs the graph optimizer (internal/opt) between
+// compilation and program build. Custard lowers one block per paper
+// definition, so compiled graphs carry redundancy a hardware program would
+// not; the optimizer's rewrite passes — common-stream deduplication,
+// duplicate-way merge collapse, dropper-chain collapse, and dead-block
+// elimination — remove it while keeping the output tensor bit-identical
+// (proven by the differential and fuzz battery in internal/opt). Level 0,
+// the default, compiles the paper-faithful graph Table 1 counts. The level
+// is part of the canonical program-cache key, so servers never alias
+// programs across levels:
+//
+//	g, err := sam.Compile("X(i,j) = B(i,j) * B(i,j)", nil, sam.Schedule{Opt: 1})
+//
 // # Parallelization
 //
 // Schedule{Par: N} compiles an N-lane parallel graph (paper Section 4.4):
@@ -62,7 +77,8 @@
 //
 // The subsystems live in internal packages: internal/core implements the
 // dataflow blocks (the paper's primary contribution), internal/custard the
-// compiler, internal/sim the cycle engines and the batch runner,
+// compiler, internal/opt the graph-optimizer pass pipeline,
+// internal/sim the cycle engines and the batch runner,
 // internal/flow a concurrent goroutine-per-block executor,
 // internal/memmodel the finite-memory tiling model, and
 // internal/experiments the harnesses that regenerate every table and figure
@@ -76,6 +92,7 @@ import (
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
+	"sam/internal/opt"
 	"sam/internal/serve"
 	"sam/internal/sim"
 	"sam/internal/tensor"
@@ -91,7 +108,19 @@ type Inputs = map[string]*tensor.COO
 type Graph = graph.Graph
 
 // Schedule selects the dataflow (loop) order and optimization rewrites.
+// Schedule.Opt picks the graph-optimization level: 0 (default) compiles the
+// paper-faithful graph, 1 runs the full rewrite pipeline of internal/opt
+// (bit-identical outputs, fewer blocks, fewer simulated cycles); levels
+// outside [0, MaxOptLevel] fail compilation.
 type Schedule = lang.Schedule
+
+// MaxOptLevel is the highest Schedule.Opt level the optimizer knows.
+const MaxOptLevel = opt.MaxLevel
+
+// OptimizeGraph runs the optimizer pipeline in place on an already-compiled
+// graph and reports what changed. Compile with Schedule.Opt set is the usual
+// entry point; this is for callers holding a graph built elsewhere.
+func OptimizeGraph(g *Graph, level int) (*opt.Report, error) { return opt.Optimize(g, level) }
 
 // Formats maps tensor names to per-level storage formats.
 type Formats = lang.Formats
