@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Serve smoke: start samserve, evaluate one gold-checked SpMV on the default
+# engine and one on the compiled engine, assert the /v1/stats counters
+# (per-engine run counts, zero fallbacks), then drain on SIGINT.
+set -euo pipefail
+
+./samserve -addr 127.0.0.1:8345 &
+SERVER=$!
+for i in $(seq 1 50); do
+  curl -sf 127.0.0.1:8345/v1/stats > /dev/null && break
+  sleep 0.1
+done
+
+# Gold: B = [[1,2],[0,3]], c = [5,7] => x = [19, 21].
+curl -sf -X POST 127.0.0.1:8345/v1/evaluate \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate.json | tee smoke.json
+grep -q '"coords":\[\[0\],\[1\]\]' smoke.json
+grep -q '"values":\[19,21\]' smoke.json
+grep -q '"cache":"miss"' smoke.json
+grep -q '"engine":"event"' smoke.json
+
+# Same kernel on the compiled engine: same gold output, zero cycles (no
+# cycle model), cache hit (engine choice does not fragment the program key).
+curl -sf -X POST 127.0.0.1:8345/v1/evaluate \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate-comp.json | tee smoke-comp.json
+grep -q '"values":\[19,21\]' smoke-comp.json
+grep -q '"cycles":0' smoke-comp.json
+grep -q '"cache":"hit"' smoke-comp.json
+grep -q '"engine":"comp"' smoke-comp.json
+
+# Engine counters: one event run, one comp run, no fallbacks.
+curl -sf 127.0.0.1:8345/v1/stats | tee stats.json
+grep -q '"engine_runs":{' stats.json
+grep -q '"comp":1' stats.json
+grep -q '"event":1' stats.json
+grep -q '"engine_fallbacks":0' stats.json
+
+kill -INT "$SERVER"
+wait "$SERVER"

@@ -12,9 +12,10 @@
 //	sambench -exp parallel -par 1,2,4,8,16     # lane-scaling study
 //	sambench -exp serve -json > BENCH_PR3.json # serving cache + scaling study
 //	sambench -exp opt -json > BENCH_PR4.json   # graph-optimizer study
+//	sambench -exp comp -json > BENCH_PR5.json  # compiled-engine speedup study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel, engines, parallel, serve, opt.
+// fig15, pointlevel, engines, parallel, serve, opt, comp.
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -66,10 +67,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	if *engine != "" {
 		// Experiments need cycle counts and stream statistics, which only
-		// the cycle-accurate engines produce.
+		// the cycle-accurate engines produce; validate against the full
+		// registry so a typo prints every engine that exists.
 		kind := sim.EngineKind(*engine)
+		if _, err := sim.EngineFor(kind); err != nil {
+			fmt.Fprintf(stderr, "sambench: %v\n", err)
+			return 1
+		}
 		if kind != sim.EngineEvent && kind != sim.EngineNaive {
-			fmt.Fprintf(stderr, "sambench: unknown engine %q (want %q or %q)\n", *engine, sim.EngineEvent, sim.EngineNaive)
+			fmt.Fprintf(stderr, "sambench: engine %q has no cycle model; experiments need a cycle engine (%q or %q)\n", *engine, sim.EngineEvent, sim.EngineNaive)
 			return 1
 		}
 		experiments.SimOptions.Engine = kind
@@ -226,6 +232,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderOpt(rows), rows, nil
+	case "comp":
+		rows, err := experiments.CompStudy(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderComp(rows), rows, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

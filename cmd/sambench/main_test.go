@@ -122,6 +122,32 @@ func TestSmokeBadFlags(t *testing.T) {
 	}
 }
 
+// TestUnknownEngineListsRegistered checks a bad -engine prints the full
+// registered engine list (comp included), and that registered engines
+// without a cycle model are rejected with a pointer to the cycle engines
+// rather than the unknown-engine error.
+func TestUnknownEngineListsRegistered(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-engine", "bogus"}, &stdout, &stderr); code == 0 {
+		t.Fatal("exit 0, want failure")
+	}
+	msg := stderr.String()
+	for _, eng := range []string{"event", "naive", "flow", "comp"} {
+		if !strings.Contains(msg, `"`+eng+`"`) {
+			t.Errorf("diagnostic %q does not list engine %q", msg, eng)
+		}
+	}
+	for _, eng := range []string{"flow", "comp"} {
+		stderr.Reset()
+		if code := realMain([]string{"-engine", eng}, &stdout, &stderr); code == 0 {
+			t.Fatalf("engine %q: exit 0, want failure", eng)
+		}
+		if !strings.Contains(stderr.String(), "no cycle model") {
+			t.Errorf("engine %q: diagnostic %q does not explain the cycle-model requirement", eng, stderr.String())
+		}
+	}
+}
+
 func TestParseLanes(t *testing.T) {
 	lanes, err := parseLanes("1, 2,8")
 	if err != nil || len(lanes) != 3 || lanes[0] != 1 || lanes[1] != 2 || lanes[2] != 8 {

@@ -10,11 +10,13 @@
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -skip      # galloping intersections
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1       # run the graph optimizer
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1 -dot  # print the optimized graph
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -engine comp  # compiled co-iteration engine
 //
-// Flag combinations are validated before simulation: the flow engine
-// rejects graphs it cannot run (gallop/bitvector blocks) and cycle-model
-// flags it ignores (-queue) with a clear error up front instead of failing
-// mid-run, and -O rejects levels the optimizer does not know.
+// Flag combinations are validated before simulation: an unknown -engine
+// prints the registered engine list, the flow engine rejects graphs it
+// cannot run (gallop/bitvector blocks), engines without a cycle model
+// (flow, comp) reject -queue with a clear error up front instead of
+// silently ignoring it, and -O rejects levels the optimizer does not know.
 package main
 
 import (
@@ -54,7 +56,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	locate := fs.Bool("locate", false, "rewrite intersections against locatable (dense) levels into locator blocks")
 	optLevel := fs.Int("O", 0, "graph optimization level (0 = paper-faithful graph, 1 = full rewrite pipeline)")
 	dot := fs.Bool("dot", false, "print the compiled (and, with -O 1, optimized) graph in Graphviz DOT and exit")
-	engine := fs.String("engine", "", "simulation engine: event (default), naive, or flow")
+	engine := fs.String("engine", "", "simulation engine: event (default), naive, flow, or comp")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
 	if err := fs.Parse(args); err != nil {
@@ -169,14 +171,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	// Validate the flag combination before simulating: a clear error now
 	// beats a mid-run block failure (flow cannot execute gallop/bitvector
-	// graphs) or a silently ignored flag (flow has no cycle model, so
-	// -queue would do nothing).
+	// graphs) or a silently ignored flag (flow and comp have no cycle
+	// model, so -queue would do nothing). An unknown -engine prints the
+	// registered engine list via sim.EngineFor.
 	kind := sim.EngineKind(*engine)
 	if err := sim.CheckEngine(kind, g); err != nil {
 		return fail(err)
 	}
-	if kind == sim.EngineFlow && *queueCap != 0 {
-		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the flow engine has no cycle model (drop -queue or use -engine event/naive)"))
+	if (kind == sim.EngineFlow || kind == sim.EngineComp) && *queueCap != 0 {
+		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the %s engine has no cycle model (drop -queue or use -engine event/naive)", kind))
 	}
 	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind})
 	if err != nil {

@@ -27,7 +27,7 @@ func TestSmokeSequential(t *testing.T) {
 
 // TestSmokeParallel runs the same statement across 4 lanes on each engine.
 func TestSmokeParallel(t *testing.T) {
-	for _, eng := range []string{"", "naive", "flow"} {
+	for _, eng := range []string{"", "naive", "flow", "comp"} {
 		var stdout, stderr bytes.Buffer
 		code := realMain([]string{
 			"-expr", "x(i) = B(i,j) * c(j)",
@@ -125,6 +125,41 @@ func TestDotPrintsGraph(t *testing.T) {
 	}
 }
 
+// TestUnknownEngineListsRegistered checks a bad -engine fails with the full
+// registered engine list, comp included, instead of a bare error.
+func TestUnknownEngineListsRegistered(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = b(i) * c(i)", "-engine", "bogus",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("exit 0, want failure")
+	}
+	msg := stderr.String()
+	for _, eng := range []string{"event", "naive", "flow", "comp"} {
+		if !strings.Contains(msg, `"`+eng+`"`) {
+			t.Errorf("diagnostic %q does not list engine %q", msg, eng)
+		}
+	}
+}
+
+// TestSmokeCompSkip checks the compiled engine runs gallop (UseSkip) graphs,
+// which the flow engine rejects.
+func TestSmokeCompSkip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = b(i) * c(i)",
+		"-dims", "i=200", "-density", "0.2",
+		"-skip", "-engine", "comp",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gold check:  PASSED") {
+		t.Errorf("gold check missing:\n%s", stdout.String())
+	}
+}
+
 // TestFlagCombinationValidation checks illegal engine/flag combinations
 // fail up front with a diagnostic naming the conflict, not mid-run.
 func TestFlagCombinationValidation(t *testing.T) {
@@ -134,6 +169,7 @@ func TestFlagCombinationValidation(t *testing.T) {
 	}{
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-skip", "-engine", "flow"}, "gallop"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "flow", "-queue", "4"}, "-queue"},
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "comp", "-queue", "4"}, "-queue"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "2"}, "unknown -O level 2"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "-1"}, "unknown -O level -1"},
 	}

@@ -1,0 +1,409 @@
+// Package comp is the compiled co-iteration engine: it lowers a SAM
+// dataflow graph once into a tree of Go closures that execute the graph
+// directly, skipping the token queues and per-cycle scheduling the
+// cycle-accurate engines pay on every edge.
+//
+// Lowering walks the graph in topological order and emits one closure per
+// block, wired through flat stream buffers instead of queues. Each closure
+// is a merged loop over its operands' full streams: level scanners become
+// cursor walks over fiber.Tensor storage, intersections and unions become
+// two-pointer (or, for gallop blocks, coordinate-skipping galloping) merges,
+// and ALUs, reducers, droppers and writers run as tight loops fused over
+// whole fibers at a time. The token-level semantics of every block are
+// preserved exactly — the per-edge token sequences are identical to the
+// cycle engines' — so outputs are bit-identical, which the differential
+// battery in this package and the engine registration in internal/sim
+// enforce across kernels, schedules, lane counts and fuzzed inputs.
+//
+// Supported blocks are everything except the bitvector pipeline (bitvector
+// scanners, intersecters, vector ALUs and writers stay on the cycle
+// engines); Check reports support up front so sim's comp engine can fall
+// back to the event engine instead of failing. Like internal/flow, the
+// compiled engine computes functional results only: no cycle counts, no
+// stream statistics.
+package comp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sam/internal/bind"
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/tensor"
+	"sam/internal/token"
+)
+
+// violation aborts execution on a stream protocol violation; Run recovers it
+// into an error. A violation in this engine is a lowering bug (the cycle
+// engines accept the same graphs), so it surfaces instead of falling back.
+type violation struct{ err error }
+
+func fail(format string, args ...any) {
+	panic(violation{fmt.Errorf("comp: %s", fmt.Sprintf(format, args...))})
+}
+
+// step executes one lowered block against the run's stream buffers.
+type step func(x *exec)
+
+// portKey names one port of one node.
+type portKey struct {
+	node int
+	port string
+}
+
+// writerRec records one level writer discovered at lowering time: assembly
+// reads its input stream directly instead of running a closure.
+type writerRec struct {
+	node *graph.Node
+	slot int // input stream slot
+}
+
+// Program is a graph lowered to closures: immutable after Compile and safe
+// for concurrent Run calls (every run allocates its own stream buffers).
+type Program struct {
+	g     *graph.Graph
+	steps []step
+	nSlot int
+
+	crdWr  map[int]writerRec // output level -> coordinate writer
+	valsWr *writerRec
+
+	// hints holds per-slot stream-length high-water marks from earlier runs,
+	// so repeated runs (the serving pattern) preallocate their buffers and
+	// skip append growth. Raised monotonically via compare-and-swap; a
+	// stale read only costs one regrowth.
+	hints []atomic.Int64
+}
+
+// Check reports whether the compiled engine can lower the graph. Only the
+// bitvector pipeline is outside its block set; graphs using it run on the
+// cycle engines (sim's comp engine falls back to the event engine).
+func Check(g *graph.Graph) error {
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case graph.BVScanner, graph.BVIntersect, graph.VecLoad, graph.VecALU,
+			graph.BVExpand, graph.BVConvert, graph.BVWriter, graph.VecValsWriter:
+			return fmt.Errorf("comp: bitvector block %q needs a cycle engine", n.Label)
+		case graph.Root, graph.Scanner, graph.Repeat, graph.Intersect, graph.Union,
+			graph.GallopIntersect, graph.Locate, graph.Array, graph.ALU, graph.Reduce,
+			graph.CrdDrop, graph.CrdWriter, graph.ValsWriter,
+			graph.Parallelize, graph.Serialize, graph.SerializePair, graph.LaneReduce:
+		default:
+			return fmt.Errorf("comp: block kind %v not lowerable", n.Kind)
+		}
+	}
+	return nil
+}
+
+// Compile lowers a graph into a Program. It fails for graphs outside the
+// supported block set (see Check) and for structurally broken graphs.
+func Compile(g *graph.Graph) (*Program, error) {
+	if err := Check(g); err != nil {
+		return nil, err
+	}
+	order, err := topoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{g: g, crdWr: map[int]writerRec{}}
+
+	// One stream buffer per driven output port; fan-out consumers read the
+	// same buffer. Undriven diagnostic ports write to slot -1 (discarded).
+	outSlot := map[portKey]int{}
+	inSlot := map[portKey]int{}
+	for _, e := range g.Edges {
+		k := portKey{e.From, e.FromPort}
+		s, ok := outSlot[k]
+		if !ok {
+			s = p.nSlot
+			p.nSlot++
+			outSlot[k] = s
+		}
+		inSlot[portKey{e.To, e.ToPort}] = s
+	}
+
+	c := &lowerer{p: p, outSlot: outSlot, inSlot: inSlot}
+	for _, n := range order {
+		if err := c.lower(n); err != nil {
+			return nil, err
+		}
+	}
+	if p.valsWr == nil {
+		return nil, fmt.Errorf("comp: graph %q has no value writer", g.Name)
+	}
+	p.hints = make([]atomic.Int64, p.nSlot)
+	return p, nil
+}
+
+// Graph returns the lowered graph.
+func (p *Program) Graph() *graph.Graph { return p.g }
+
+// lowerer carries the per-compile wiring state.
+type lowerer struct {
+	p       *Program
+	outSlot map[portKey]int
+	inSlot  map[portKey]int
+}
+
+// in resolves the stream slot feeding an input port.
+func (c *lowerer) in(n *graph.Node, port string) (int, error) {
+	s, ok := c.inSlot[portKey{n.ID, port}]
+	if !ok {
+		return 0, fmt.Errorf("comp: node %q input port %q unconnected", n.Label, port)
+	}
+	return s, nil
+}
+
+// ins resolves a numbered port family, e.g. crd0..crdN.
+func (c *lowerer) ins(n *graph.Node, prefix string, count int) ([]int, error) {
+	slots := make([]int, count)
+	for i := range slots {
+		var err error
+		if slots[i], err = c.in(n, fmt.Sprintf("%s%d", prefix, i)); err != nil {
+			return nil, err
+		}
+	}
+	return slots, nil
+}
+
+// out resolves an output port's slot; undriven ports discard.
+func (c *lowerer) out(n *graph.Node, port string) int {
+	if s, ok := c.outSlot[portKey{n.ID, port}]; ok {
+		return s
+	}
+	return -1
+}
+
+// outs resolves a numbered output port family.
+func (c *lowerer) outs(n *graph.Node, prefix string, count int) []int {
+	slots := make([]int, count)
+	for i := range slots {
+		slots[i] = c.out(n, fmt.Sprintf("%s%d", prefix, i))
+	}
+	return slots
+}
+
+// add appends one lowered closure.
+func (c *lowerer) add(s step) { c.p.steps = append(c.p.steps, s) }
+
+// exec is the state of one run: stream buffers indexed by slot, plus the
+// bound operand storage and output dimensions.
+type exec struct {
+	streams []token.Stream
+	bound   map[string]*fiber.Tensor
+	dims    []int
+}
+
+// push appends a token to a stream buffer; slot -1 discards.
+func (x *exec) push(slot int, t token.Tok) {
+	if slot >= 0 {
+		x.streams[slot] = append(x.streams[slot], t)
+	}
+}
+
+// cur opens a read cursor over a stream buffer.
+func (x *exec) cur(slot int) *cursor { return &cursor{s: x.streams[slot]} }
+
+// curs opens cursors over a slot family.
+func (x *exec) curs(slots []int) []*cursor {
+	cs := make([]*cursor, len(slots))
+	for i, s := range slots {
+		cs[i] = x.cur(s)
+	}
+	return cs
+}
+
+// level fetches a bound operand's storage level.
+func (x *exec) level(label, operand string, lvl int) fiber.Level {
+	t, ok := x.bound[operand]
+	if !ok {
+		fail("node %q references unbound operand %q", label, operand)
+	}
+	if lvl >= len(t.Levels) {
+		fail("node %q references level %d of order-%d operand %q", label, lvl, len(t.Levels), operand)
+	}
+	return t.Levels[lvl]
+}
+
+// vals fetches a bound operand's value array.
+func (x *exec) vals(label, operand string) []float64 {
+	t, ok := x.bound[operand]
+	if !ok {
+		fail("node %q references unbound operand %q", label, operand)
+	}
+	return t.Vals
+}
+
+// cursor reads a materialized stream with one-token lookahead, the batch
+// analogue of a queue's peek/pop.
+type cursor struct {
+	s token.Stream
+	i int
+}
+
+func (c *cursor) peek() token.Tok {
+	if c.i >= len(c.s) {
+		fail("stream ended before done token")
+	}
+	return c.s[c.i]
+}
+
+func (c *cursor) next() token.Tok {
+	t := c.peek()
+	c.i++
+	return t
+}
+
+// Run executes the program against one operand binding and assembles the
+// output tensor. bound and dims come from the graph's bind.Plan (sim owns
+// that split); RunGraph is the one-shot convenience.
+func (p *Program) Run(bound map[string]*fiber.Tensor, dims []int) (out *tensor.COO, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok := r.(violation)
+			if !ok {
+				panic(r)
+			}
+			out, err = nil, v.err
+		}
+	}()
+	x := &exec{streams: make([]token.Stream, p.nSlot), bound: bound, dims: dims}
+	for i := range x.streams {
+		if n := p.hints[i].Load(); n > 0 {
+			x.streams[i] = make(token.Stream, 0, n)
+		}
+	}
+	for _, st := range p.steps {
+		st(x)
+	}
+	for i := range x.streams {
+		n := int64(len(x.streams[i]))
+		for {
+			cur := p.hints[i].Load()
+			if n <= cur || p.hints[i].CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	return p.assemble(x)
+}
+
+// RunGraph compiles and runs a graph in one shot.
+func RunGraph(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
+	p, err := Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := bind.Operands(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := bind.OutputDims(g, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(bound, dims)
+}
+
+// assemble materializes the output tensor from the writer streams, exactly
+// as the other engines do: compressed levels from the coordinate streams'
+// stop structure, values in stream order, empty-level reconciliation for
+// optimized graphs, validation, and the permute to the declared
+// left-hand-side order.
+func (p *Program) assemble(x *exec) (*tensor.COO, error) {
+	g := p.g
+	order := len(g.OutputVars)
+	valRec := x.streams[p.valsWr.slot]
+	if err := valRec.Validate(order); err != nil {
+		return nil, fmt.Errorf("comp: writer %q stream malformed: %w", p.valsWr.node.Label, err)
+	}
+	ft := &fiber.Tensor{Name: g.OutputTensor, Dims: x.dims}
+	for _, t := range valRec {
+		if t.IsVal() {
+			ft.Vals = append(ft.Vals, t.V)
+		} else if t.IsEmpty() {
+			ft.Vals = append(ft.Vals, 0)
+		}
+	}
+	for lvl := 0; lvl < order; lvl++ {
+		w, ok := p.crdWr[lvl]
+		if !ok {
+			return nil, fmt.Errorf("comp: no writer produced output level %d", lvl)
+		}
+		rec := x.streams[w.slot]
+		if err := rec.Validate(lvl + 1); err != nil {
+			return nil, fmt.Errorf("comp: writer %q stream malformed: %w", w.node.Label, err)
+		}
+		seg := []int32{0}
+		var crd []int32
+		for _, t := range rec {
+			switch t.Kind {
+			case token.Val:
+				crd = append(crd, int32(t.N))
+			case token.Stop:
+				seg = append(seg, int32(len(crd)))
+			}
+		}
+		if len(crd) == 0 && lvl > 0 {
+			// Empty-result artifact: no parent coordinates, so no fibers.
+			seg = []int32{0}
+		}
+		ft.Levels = append(ft.Levels, &fiber.CompressedLevel{N: x.dims[lvl], Seg: seg, Crd: crd})
+	}
+	// Optimized graphs bypass coordinate-mode droppers; rebuild the fiber
+	// count of all-empty levels from the parent, as the other engines do.
+	if g.OptLevel > 0 {
+		ft.NormalizeEmptyLevels()
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("comp: assembled output invalid: %w", err)
+	}
+	out := tensor.FromFiber(ft)
+	perm := make([]int, order)
+	for i, v := range g.LHSVars {
+		found := false
+		for j, u := range g.OutputVars {
+			if u == v {
+				perm[i] = j
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("comp: output variable %q missing from graph metadata", v)
+		}
+	}
+	return out.Permute(g.OutputTensor, perm)
+}
+
+// topoOrder sorts nodes so producers precede consumers.
+func topoOrder(g *graph.Graph) ([]*graph.Node, error) {
+	indeg := make([]int, len(g.Nodes))
+	succ := make([][]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var out []*graph.Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, g.Nodes[n])
+		for _, s := range succ[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(out) != len(g.Nodes) {
+		return nil, fmt.Errorf("comp: graph has a cycle")
+	}
+	return out, nil
+}

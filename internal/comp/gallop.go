@@ -1,0 +1,100 @@
+package comp
+
+import (
+	"sort"
+
+	"sam/internal/fiber"
+	"sam/internal/graph"
+	"sam/internal/token"
+)
+
+// gallopTo returns the first position in [pos, n) of the level's fiber f
+// whose coordinate is >= target, by binary search (the batch analogue of the
+// cycle engine's galloping probe — the skip itself costs nothing here, so
+// only the emitted token sequence matters).
+func gallopTo(lvl fiber.Level, f, pos, n int, target int64) int {
+	return pos + sort.Search(n-pos, func(i int) bool { return lvl.Coord(f, pos+i) >= target })
+}
+
+// lowerGallop is the coordinate-skipping intersection of paper Section 4.2
+// as one merged loop: each pair of fiber references co-iterates the two
+// storage levels directly, matching coordinates with a gallop-advance loop
+// and emitting the matched coordinate plus both child references.
+func (c *lowerer) lowerGallop(n *graph.Node) error {
+	inA, err := c.in(n, "ref0")
+	if err != nil {
+		return err
+	}
+	inB, err := c.in(n, "ref1")
+	if err != nil {
+		return err
+	}
+	outCrd := c.out(n, "crd")
+	outRefA := c.out(n, "ref0")
+	outRefB := c.out(n, "ref1")
+	opA, lvA := n.Tensor, n.Level
+	opB, lvB := n.TensorB, n.LevelB
+	name := n.Label
+	c.add(func(x *exec) {
+		la := x.level(name, opA, lvA)
+		lb := x.level(name, opB, lvB)
+		ca, cb := x.cur(inA), x.cur(inB)
+		emitAll := func(t token.Tok) {
+			x.push(outCrd, t)
+			x.push(outRefA, t)
+			x.push(outRefB, t)
+		}
+		sep := false
+		for {
+			ta := ca.next()
+			tb := cb.next()
+			switch {
+			case (ta.IsVal() || ta.IsEmpty()) && (tb.IsVal() || tb.IsEmpty()):
+				if sep {
+					emitAll(token.S(0))
+					sep = false
+				}
+				if ta.IsEmpty() || tb.IsEmpty() {
+					// An absent fiber on either side empties the intersection.
+					sep = true
+					continue
+				}
+				fa, fb := int(ta.N), int(tb.N)
+				pa, na := 0, la.FiberLen(fa)
+				pb, nb := 0, lb.FiberLen(fb)
+				for pa < na && pb < nb {
+					cca := la.Coord(fa, pa)
+					ccb := lb.Coord(fb, pb)
+					switch {
+					case cca == ccb:
+						x.push(outCrd, token.C(cca))
+						x.push(outRefA, token.C(la.ChildRef(fa, pa)))
+						x.push(outRefB, token.C(lb.ChildRef(fb, pb)))
+						pa++
+						pb++
+					case cca < ccb:
+						pa = gallopTo(la, fa, pa, na, ccb)
+					default:
+						pb = gallopTo(lb, fb, pb, nb, cca)
+					}
+				}
+				sep = true
+			case ta.IsStop() && tb.IsStop():
+				if ta.StopLevel() != tb.StopLevel() {
+					fail("%s: misaligned stops %v vs %v", name, ta, tb)
+				}
+				sep = false
+				emitAll(token.S(ta.StopLevel() + 1))
+			case ta.IsDone() && tb.IsDone():
+				if sep {
+					emitAll(token.S(0))
+				}
+				emitAll(token.D())
+				return
+			default:
+				fail("%s: misaligned reference inputs %v vs %v", name, ta, tb)
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,710 @@
+package comp
+
+import (
+	"fmt"
+
+	"sam/internal/graph"
+	"sam/internal/lang"
+	"sam/internal/token"
+)
+
+// lower emits the closure for one block. The closures mirror the token-level
+// semantics of internal/core and internal/flow exactly; only the execution
+// strategy differs — whole streams per call instead of tokens per cycle.
+func (c *lowerer) lower(n *graph.Node) error {
+	switch n.Kind {
+	case graph.Root:
+		out := c.out(n, "ref")
+		c.add(func(x *exec) {
+			x.push(out, token.C(0))
+			x.push(out, token.D())
+		})
+		return nil
+	case graph.Scanner:
+		return c.lowerScanner(n)
+	case graph.Repeat:
+		return c.lowerRepeat(n)
+	case graph.Intersect:
+		return c.lowerIntersect(n)
+	case graph.Union:
+		return c.lowerUnion(n)
+	case graph.GallopIntersect:
+		return c.lowerGallop(n)
+	case graph.Locate:
+		return c.lowerLocate(n)
+	case graph.Array:
+		return c.lowerArray(n)
+	case graph.ALU:
+		return c.lowerALU(n)
+	case graph.Reduce:
+		return c.lowerReduce(n)
+	case graph.CrdDrop:
+		return c.lowerCrdDrop(n)
+	case graph.CrdWriter:
+		slot, err := c.in(n, "crd")
+		if err != nil {
+			return err
+		}
+		c.p.crdWr[n.OutLevel] = writerRec{node: n, slot: slot}
+		return nil
+	case graph.ValsWriter:
+		slot, err := c.in(n, "val")
+		if err != nil {
+			return err
+		}
+		c.p.valsWr = &writerRec{node: n, slot: slot}
+		return nil
+	case graph.Parallelize:
+		return c.lowerParallelize(n)
+	case graph.Serialize:
+		return c.lowerSerialize(n)
+	case graph.SerializePair:
+		return c.lowerSerializePair(n)
+	case graph.LaneReduce:
+		return c.lowerLaneReduce(n)
+	}
+	return fmt.Errorf("comp: block kind %v not lowerable", n.Kind)
+}
+
+// lowerScanner walks one storage level fiber by fiber: each reference token
+// selects a fiber, whose coordinates and child references stream out in one
+// cursor walk; stop tokens rise one level.
+func (c *lowerer) lowerScanner(n *graph.Node) error {
+	in, err := c.in(n, "ref")
+	if err != nil {
+		return err
+	}
+	outCrd, outRef := c.out(n, "crd"), c.out(n, "ref")
+	operand, level, label := n.Tensor, n.Level, n.Label
+	c.add(func(x *exec) {
+		lvl := x.level(label, operand, level)
+		ref := x.cur(in)
+		sep := false
+		for {
+			t := ref.next()
+			switch t.Kind {
+			case token.Val, token.Empty:
+				if sep {
+					x.push(outCrd, token.S(0))
+					x.push(outRef, token.S(0))
+				}
+				if t.IsVal() {
+					f := int(t.N)
+					m := lvl.FiberLen(f)
+					for i := 0; i < m; i++ {
+						x.push(outCrd, token.C(lvl.Coord(f, i)))
+						x.push(outRef, token.C(lvl.ChildRef(f, i)))
+					}
+				}
+				sep = true
+			case token.Stop:
+				sep = false
+				x.push(outCrd, token.S(t.StopLevel()+1))
+				x.push(outRef, token.S(t.StopLevel()+1))
+			case token.Done:
+				if sep {
+					x.push(outCrd, token.S(0))
+					x.push(outRef, token.S(0))
+				}
+				x.push(outCrd, token.D())
+				x.push(outRef, token.D())
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// lowerRepeat broadcasts each reference over its coordinate group
+// (Definition 3.4).
+func (c *lowerer) lowerRepeat(n *graph.Node) error {
+	inCrd, err := c.in(n, "crd")
+	if err != nil {
+		return err
+	}
+	inRef, err := c.in(n, "ref")
+	if err != nil {
+		return err
+	}
+	out := c.out(n, "ref")
+	name := n.Label
+	c.add(func(x *exec) {
+		crd, ref := x.cur(inCrd), x.cur(inRef)
+		var curTok token.Tok
+		have := false
+		for {
+			t := crd.next()
+			switch t.Kind {
+			case token.Val:
+				if !have {
+					curTok = ref.next()
+					if !curTok.IsVal() && !curTok.IsEmpty() {
+						fail("%s: expected reference, got %v", name, curTok)
+					}
+					have = true
+				}
+				x.push(out, curTok)
+			case token.Stop:
+				m := t.StopLevel()
+				if !have {
+					// Either an empty fiber's reference or (for m >= 1) a
+					// structural stop; reading decides.
+					rt := ref.next()
+					switch {
+					case rt.IsVal() || rt.IsEmpty():
+						if m >= 1 {
+							rs := ref.next()
+							if !rs.IsStop() || rs.StopLevel() != m-1 {
+								fail("%s: misaligned ref stop %v for crd %v", name, rs, t)
+							}
+						}
+					case rt.IsStop() && m >= 1 && rt.StopLevel() == m-1:
+						// structural empty group; stop consumed
+					default:
+						fail("%s: misaligned ref token %v for crd stop %v", name, rt, t)
+					}
+				} else if m >= 1 {
+					rs := ref.next()
+					if !rs.IsStop() || rs.StopLevel() != m-1 {
+						fail("%s: misaligned ref stop %v for crd %v", name, rs, t)
+					}
+				}
+				have = false
+				x.push(out, t)
+			case token.Done:
+				if d := ref.next(); !d.IsDone() {
+					fail("%s: ref stream not done: %v", name, d)
+				}
+				x.push(out, token.D())
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// lowerIntersect is the m-ary intersecter as one two-pointer merge loop over
+// the input coordinate streams (Definition 3.2).
+func (c *lowerer) lowerIntersect(n *graph.Node) error {
+	inCrd, err := c.ins(n, "crd", n.Ways)
+	if err != nil {
+		return err
+	}
+	inRef, err := c.ins(n, "ref", n.Ways)
+	if err != nil {
+		return err
+	}
+	outCrd := c.out(n, "crd")
+	outRef := c.outs(n, "ref", n.Ways)
+	name := n.Label
+	c.add(func(x *exec) {
+		m := len(inCrd)
+		cc, cr := x.curs(inCrd), x.curs(inRef)
+		heads := make([]token.Tok, m)
+		for i := range heads {
+			heads[i] = cc[i].next()
+		}
+		advance := func(i int) {
+			cr[i].next() // refs move in lockstep
+			heads[i] = cc[i].next()
+		}
+		advanceKeep := func(i int) token.Tok {
+			rt := cr[i].next()
+			heads[i] = cc[i].next()
+			return rt
+		}
+		for {
+			// Two-way fast path: while both heads are coordinates, run the
+			// plain two-pointer merge without the generic head scan. The
+			// emitted tokens are exactly the generic state machine's
+			// nVal == m cases specialized to m == 2.
+			if m == 2 {
+				a, b := heads[0], heads[1]
+				for a.Kind == token.Val && b.Kind == token.Val {
+					switch {
+					case a.N == b.N:
+						x.push(outCrd, token.C(a.N))
+						x.push(outRef[0], cr[0].next())
+						x.push(outRef[1], cr[1].next())
+						a = cc[0].next()
+						b = cc[1].next()
+					case a.N < b.N:
+						cr[0].next()
+						a = cc[0].next()
+					default:
+						cr[1].next()
+						b = cc[1].next()
+					}
+				}
+				heads[0], heads[1] = a, b
+			}
+			nVal, nDone := 0, 0
+			var minC int64
+			stopLvl := -1
+			for _, t := range heads {
+				switch t.Kind {
+				case token.Val:
+					if nVal == 0 || t.N < minC {
+						minC = t.N
+					}
+					nVal++
+				case token.Stop:
+					if stopLvl != -1 && stopLvl != t.StopLevel() {
+						fail("%s: misaligned stop levels S%d vs S%d", name, stopLvl, t.StopLevel())
+					}
+					stopLvl = t.StopLevel()
+				case token.Done:
+					nDone++
+				}
+			}
+			switch {
+			case nDone == m:
+				x.push(outCrd, token.D())
+				for i := range cr {
+					cr[i].next()
+					x.push(outRef[i], token.D())
+				}
+				return
+			case nDone > 0:
+				fail("%s: premature done", name)
+			case nVal == m:
+				all := true
+				for _, t := range heads {
+					if t.N != minC {
+						all = false
+					}
+				}
+				if all {
+					x.push(outCrd, token.C(minC))
+					for i := range heads {
+						x.push(outRef[i], advanceKeep(i))
+					}
+					continue
+				}
+				for i, t := range heads {
+					if t.IsVal() && t.N == minC {
+						advance(i)
+					}
+				}
+			case nVal == 0:
+				x.push(outCrd, token.S(stopLvl))
+				for i := range heads {
+					rt := advanceKeep(i)
+					if !rt.IsStop() {
+						fail("%s: ref misaligned at stop: %v", name, rt)
+					}
+					x.push(outRef[i], rt)
+				}
+			default:
+				for i, t := range heads {
+					if t.IsVal() {
+						advance(i)
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// lowerUnion is the m-ary unioner as one merge loop (Definition 3.3).
+func (c *lowerer) lowerUnion(n *graph.Node) error {
+	inCrd, err := c.ins(n, "crd", n.Ways)
+	if err != nil {
+		return err
+	}
+	inRef, err := c.ins(n, "ref", n.Ways)
+	if err != nil {
+		return err
+	}
+	outCrd := c.out(n, "crd")
+	outRef := c.outs(n, "ref", n.Ways)
+	name := n.Label
+	c.add(func(x *exec) {
+		m := len(inCrd)
+		cc, cr := x.curs(inCrd), x.curs(inRef)
+		heads := make([]token.Tok, m)
+		for i := range heads {
+			heads[i] = cc[i].next()
+		}
+		for {
+			nVal, nDone := 0, 0
+			var minC int64
+			stopLvl := -1
+			for _, t := range heads {
+				switch t.Kind {
+				case token.Val:
+					if nVal == 0 || t.N < minC {
+						minC = t.N
+					}
+					nVal++
+				case token.Stop:
+					if stopLvl != -1 && stopLvl != t.StopLevel() {
+						fail("%s: misaligned stop levels S%d vs S%d", name, stopLvl, t.StopLevel())
+					}
+					stopLvl = t.StopLevel()
+				case token.Done:
+					nDone++
+				}
+			}
+			switch {
+			case nDone == m:
+				x.push(outCrd, token.D())
+				for i := range cr {
+					cr[i].next()
+					x.push(outRef[i], token.D())
+				}
+				return
+			case nDone > 0:
+				fail("%s: premature done", name)
+			case nVal == 0:
+				x.push(outCrd, token.S(stopLvl))
+				for i := range heads {
+					rt := cr[i].next()
+					if !rt.IsStop() {
+						fail("%s: ref misaligned at stop: %v", name, rt)
+					}
+					x.push(outRef[i], rt)
+					heads[i] = cc[i].next()
+				}
+			default:
+				x.push(outCrd, token.C(minC))
+				for i, t := range heads {
+					if t.IsVal() && t.N == minC {
+						x.push(outRef[i], cr[i].next())
+						heads[i] = cc[i].next()
+					} else {
+						x.push(outRef[i], token.N())
+					}
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// lowerLocate is the iterate-locate block following a driver coordinate
+// stream into one tensor level (Definition 4.1).
+func (c *lowerer) lowerLocate(n *graph.Node) error {
+	inCrd, err := c.in(n, "crd")
+	if err != nil {
+		return err
+	}
+	inRef, err := c.in(n, "ref")
+	if err != nil {
+		return err
+	}
+	inFib, err := c.in(n, "fiber")
+	if err != nil {
+		return err
+	}
+	outCrd, outRef, outLoc := c.out(n, "crd"), c.out(n, "ref"), c.out(n, "loc")
+	operand, level, name := n.Tensor, n.Level, n.Label
+	c.add(func(x *exec) {
+		lvl := x.level(name, operand, level)
+		crd, ref, fib := x.cur(inCrd), x.cur(inRef), x.cur(inFib)
+		var curTok token.Tok
+		have := false
+		for {
+			t := crd.next()
+			switch t.Kind {
+			case token.Val:
+				rt := ref.next()
+				if !have {
+					curTok = fib.next()
+					if !curTok.IsVal() && !curTok.IsEmpty() {
+						fail("%s: expected fiber-select reference, got %v", name, curTok)
+					}
+					have = true
+				}
+				if curTok.IsEmpty() {
+					continue
+				}
+				loc, found := lvl.Locate(int(curTok.N), t.N)
+				if !found {
+					continue
+				}
+				x.push(outCrd, t)
+				x.push(outRef, rt)
+				x.push(outLoc, token.C(loc))
+			case token.Stop:
+				m := t.StopLevel()
+				rs := ref.next()
+				if !rs.IsStop() || rs.StopLevel() != m {
+					fail("%s: ref misaligned at stop %v: %v", name, t, rs)
+				}
+				if !have {
+					ft := fib.next()
+					switch {
+					case ft.IsVal() || ft.IsEmpty():
+						if m >= 1 {
+							fs := fib.next()
+							if !fs.IsStop() || fs.StopLevel() != m-1 {
+								fail("%s: fiber-select misaligned %v", name, fs)
+							}
+						}
+					case ft.IsStop() && m >= 1 && ft.StopLevel() == m-1:
+					default:
+						fail("%s: fiber-select misaligned %v at stop %v", name, ft, t)
+					}
+				} else if m >= 1 {
+					fs := fib.next()
+					if !fs.IsStop() || fs.StopLevel() != m-1 {
+						fail("%s: fiber-select misaligned %v", name, fs)
+					}
+				}
+				have = false
+				x.push(outCrd, t)
+				x.push(outRef, t)
+				x.push(outLoc, t)
+			case token.Done:
+				if d := ref.next(); !d.IsDone() {
+					fail("%s: ref stream not done", name)
+				}
+				if d := fib.next(); !d.IsDone() {
+					fail("%s: fiber-select stream not done", name)
+				}
+				x.push(outCrd, token.D())
+				x.push(outRef, token.D())
+				x.push(outLoc, token.D())
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// lowerArray is the array block in load mode: references gather values in
+// one pass over the reference stream (Definition 3.5).
+func (c *lowerer) lowerArray(n *graph.Node) error {
+	in, err := c.in(n, "ref")
+	if err != nil {
+		return err
+	}
+	out := c.out(n, "val")
+	operand, name := n.Tensor, n.Label
+	c.add(func(x *exec) {
+		vals := x.vals(name, operand)
+		ref := x.cur(in)
+		for {
+			t := ref.next()
+			switch t.Kind {
+			case token.Val:
+				if t.N < 0 || t.N >= int64(len(vals)) {
+					fail("%s: reference %d out of range", name, t.N)
+				}
+				x.push(out, token.V(vals[t.N]))
+			default:
+				x.push(out, t)
+				if t.IsDone() {
+					return
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// lowerALU combines two aligned value streams point-wise, fused over the
+// whole stream (Definition 3.6).
+func (c *lowerer) lowerALU(n *graph.Node) error {
+	inA, err := c.in(n, "a")
+	if err != nil {
+		return err
+	}
+	inB, err := c.in(n, "b")
+	if err != nil {
+		return err
+	}
+	out := c.out(n, "val")
+	name := n.Label
+	var op func(a, b float64) float64
+	switch n.Op {
+	case lang.Mul:
+		op = func(a, b float64) float64 { return a * b }
+	case lang.Add:
+		op = func(a, b float64) float64 { return a + b }
+	default:
+		op = func(a, b float64) float64 { return a - b }
+	}
+	c.add(func(x *exec) {
+		ca, cb := x.cur(inA), x.cur(inB)
+		a := ca.next()
+		b := cb.next()
+		for {
+			dataA := a.IsVal() || a.IsEmpty()
+			dataB := b.IsVal() || b.IsEmpty()
+			switch {
+			// An orphan zero (a scalar reduction of a structurally empty
+			// group, e.g. a parallel lane that received no fibers) has no
+			// counterpart on the other operand: discard it, like the
+			// droppers and reducers do.
+			case a.IsVal() && a.V == 0 && (b.IsStop() || b.IsDone()):
+				a = ca.next()
+				continue
+			case b.IsVal() && b.V == 0 && (a.IsStop() || a.IsDone()):
+				b = cb.next()
+				continue
+			case dataA && dataB:
+				if a.IsEmpty() && b.IsEmpty() {
+					x.push(out, token.N())
+				} else {
+					va, vb := 0.0, 0.0
+					if a.IsVal() {
+						va = a.V
+					}
+					if b.IsVal() {
+						vb = b.V
+					}
+					x.push(out, token.V(op(va, vb)))
+				}
+			case a.IsStop() && b.IsStop() && a.StopLevel() == b.StopLevel():
+				x.push(out, a)
+			case a.IsDone() && b.IsDone():
+				x.push(out, token.D())
+				return
+			default:
+				fail("%s: misaligned operands %v vs %v", name, a, b)
+			}
+			a = ca.next()
+			b = cb.next()
+		}
+	})
+	return nil
+}
+
+// lowerCrdDrop lowers the coordinate dropper in either mode
+// (Definition 3.9), with the same asymmetric stop rules as the cycle
+// implementation.
+func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
+	inOuter, err := c.in(n, "outer")
+	if err != nil {
+		return err
+	}
+	outOuter := c.out(n, "outer")
+	name := n.Label
+	if n.DropVal {
+		inVal, err := c.in(n, "val")
+		if err != nil {
+			return err
+		}
+		outVal := c.out(n, "val")
+		c.add(func(x *exec) {
+			co, cv := x.cur(inOuter), x.cur(inVal)
+			ct := co.next()
+			for {
+				v := cv.next()
+				switch {
+				case ct.IsVal() && (v.IsVal() || v.IsEmpty()):
+					if v.IsVal() && v.V != 0 {
+						x.push(outOuter, ct)
+						x.push(outVal, v)
+					}
+					ct = co.next()
+				case ct.IsStop() && (v.IsVal() || v.IsEmpty()):
+					if v.IsVal() && v.V != 0 {
+						fail("%s: nonzero orphan value %v", name, v)
+					}
+					// discard the orphan zero; keep the stop pending
+				case ct.IsStop() && v.IsStop() && ct.StopLevel() == v.StopLevel():
+					x.push(outOuter, ct)
+					x.push(outVal, v)
+					ct = co.next()
+				case ct.IsDone() && v.IsDone():
+					x.push(outOuter, token.D())
+					x.push(outVal, token.D())
+					return
+				default:
+					fail("%s: misaligned %v vs %v", name, ct, v)
+				}
+			}
+		})
+		return nil
+	}
+	inInner, err := c.in(n, "inner")
+	if err != nil {
+		return err
+	}
+	outInner := c.out(n, "inner")
+	c.add(func(x *exec) {
+		co, ci := x.cur(inOuter), x.cur(inInner)
+		var pending token.Tok
+		havePending := false
+		emitted := false
+		everEmitted := false
+		held := -1
+		flushHeld := func() {
+			if held >= 0 && everEmitted {
+				x.push(outInner, token.S(held))
+			}
+			held = -1
+		}
+		for {
+			t := ci.next()
+			switch t.Kind {
+			case token.Val:
+				flushHeld()
+				if !emitted {
+					if !havePending {
+						o := co.next()
+						if !o.IsVal() {
+							fail("%s: expected outer coordinate, got %v", name, o)
+						}
+						pending = o
+					}
+					x.push(outOuter, pending)
+					havePending = false
+					emitted = true
+				}
+				x.push(outInner, t)
+				everEmitted = true
+			case token.Stop:
+				m := t.StopLevel()
+				if !emitted && !havePending {
+					o := co.next()
+					switch {
+					case o.IsVal():
+						// dropped coordinate; for m >= 1 the outer stop
+						// still follows
+						if m >= 1 {
+							os := co.next()
+							if !os.IsStop() || os.StopLevel() != m-1 {
+								fail("%s: outer misaligned %v vs inner %v", name, os, t)
+							}
+							x.push(outOuter, token.S(m-1))
+						}
+					case o.IsStop() && m >= 1 && o.StopLevel() == m-1:
+						x.push(outOuter, token.S(m-1))
+					default:
+						fail("%s: outer misaligned %v vs inner stop %v", name, o, t)
+					}
+				} else {
+					if havePending {
+						havePending = false // dropped coordinate
+					}
+					if m >= 1 {
+						os := co.next()
+						if !os.IsStop() || os.StopLevel() != m-1 {
+							fail("%s: outer misaligned %v vs inner %v", name, os, t)
+						}
+						x.push(outOuter, token.S(m-1))
+					}
+				}
+				if m > held {
+					held = m
+				}
+				emitted = false
+				havePending = false
+			case token.Done:
+				flushHeld()
+				if o := co.next(); !o.IsDone() {
+					fail("%s: outer stream not done: %v", name, o)
+				}
+				x.push(outOuter, token.D())
+				x.push(outInner, token.D())
+				return
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestCompStudy runs the compiled-engine study at a small scale and checks
+// the acceptance properties: every configuration is bit-identical to the
+// event engine (CompStudy fails hard otherwise), every Table 1 kernel is
+// covered at both optimization levels, and the wall-clock columns are
+// populated. Absolute speedups are hardware-dependent, so the test asserts
+// the measurement structure, not a ratio.
+func TestCompStudy(t *testing.T) {
+	rows, err := CompStudy(1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	kernels := map[string]map[int]bool{}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s O%d par%d: outputs not bit-identical", r.Kernel, r.Opt, r.Par)
+		}
+		if r.WallMSEv <= 0 || r.WallMSComp <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s O%d par%d: unmeasured wall-clock: event=%g comp=%g speedup=%g",
+				r.Kernel, r.Opt, r.Par, r.WallMSEv, r.WallMSComp, r.Speedup)
+		}
+		if kernels[r.Kernel] == nil {
+			kernels[r.Kernel] = map[int]bool{}
+		}
+		kernels[r.Kernel][r.Opt] = true
+	}
+	if len(kernels) != len(Table1Cases) {
+		t.Errorf("covered %d kernels, want %d", len(kernels), len(Table1Cases))
+	}
+	for k, opts := range kernels {
+		if !opts[0] || !opts[1] {
+			t.Errorf("kernel %s missing an optimization level: %v", k, opts)
+		}
+	}
+	if out := RenderComp(rows); len(out) == 0 {
+		t.Error("empty rendering")
+	}
+}

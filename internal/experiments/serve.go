@@ -111,10 +111,10 @@ func serveWorkload(seed int64, scale float64) []struct {
 			Expr: "X(i,j) = B(i,k) * C(k,j)", Inputs: spmspm,
 			Schedule: &serve.WireSchedule{Par: 4}}},
 		{"SpMAdd", &serve.EvaluateRequest{
-			Expr: "X(i,j) = B(i,j) + C(i,j)",
+			Expr:   "X(i,j) = B(i,j) + C(i,j)",
 			Inputs: map[string]serve.WireTensor{"B": bb, "C": cc2}}},
 		{"SDDMM", &serve.EvaluateRequest{
-			Expr: "X(i,j) = B(i,j) * C(i,k) * D(j,k)",
+			Expr:   "X(i,j) = B(i,j) * C(i,k) * D(j,k)",
 			Inputs: map[string]serve.WireTensor{"B": bb, "C": dk, "D": ek}}},
 	}
 }

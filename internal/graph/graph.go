@@ -196,7 +196,7 @@ type Graph struct {
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		Name: g.Name, Expr: g.Expr, OptLevel: g.OptLevel,
-		OutputTensor: g.OutputTensor,
+		OutputTensor:  g.OutputTensor,
 		OutputFormats: append([]fiber.Format(nil), g.OutputFormats...),
 		OutputDims:    append([]DimRef(nil), g.OutputDims...),
 		OutputVars:    append([]string(nil), g.OutputVars...),

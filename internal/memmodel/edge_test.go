@@ -1,0 +1,90 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+// TestTileEmptyMatrix checks the degenerate tile map: a matrix with no
+// nonzeros has no nonempty tiles, no tile rows, and SpM*SpM over it models
+// zero tile pairs.
+func TestTileEmptyMatrix(t *testing.T) {
+	b := tensor.NewCOO("B", 256, 256)
+	tm := Tile(b, 128)
+	if tm.NonemptyTiles() != 0 {
+		t.Errorf("NonemptyTiles = %d, want 0", tm.NonemptyTiles())
+	}
+	if len(tm.Rows) != 0 || len(tm.Cols) != 0 {
+		t.Errorf("empty matrix has tile rows %v / cols %v", tm.Rows, tm.Cols)
+	}
+	rng := rand.New(rand.NewSource(1))
+	c := tensor.UniformRandom("C", rng, 100, 256, 256)
+	st := SpMSpM(b, c, DefaultConfig())
+	if st.TilePairs != 0 {
+		t.Errorf("empty B modeled %d tile pairs, want 0", st.TilePairs)
+	}
+	if st.ComputeCycles != 0 {
+		// Only tile-sequencing tokens for C's nonempty tiles may remain.
+		tc := Tile(c, DefaultConfig().TileSize)
+		if st.ComputeCycles != float64(tc.NonemptyTiles()) {
+			t.Errorf("empty B compute cycles = %g, want the %d C sequencing tokens", st.ComputeCycles, tc.NonemptyTiles())
+		}
+	}
+}
+
+// TestTileAllEmptyRows checks a B matrix whose populated tile rows have no
+// matching C tile rows: every pair is skipped, so the model charges
+// sequencing tokens but dispatches no PE work.
+func TestTileAllEmptyRows(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TileSize = 64
+	// B occupies tile column 0 only; C's tile row 0 is empty (C lives in
+	// tile rows 2 and 3), so no (B, C) tile pair survives intersection.
+	b := tensor.NewCOO("B", 256, 256)
+	b.Append(1, 0, 0)
+	b.Append(2, 200, 10)
+	c := tensor.NewCOO("C", 256, 256)
+	c.Append(3, 150, 0)
+	c.Append(4, 250, 250)
+	st := SpMSpM(b, c, cfg)
+	if st.TilePairs != 0 {
+		t.Errorf("disjoint tile supports modeled %d pairs, want 0", st.TilePairs)
+	}
+	if st.SkippedPairs == 0 {
+		t.Error("no skipped pairs recorded for disjoint tile supports")
+	}
+	if st.Cycles <= 0 {
+		t.Errorf("cycles = %g, want positive sequencing cost", st.Cycles)
+	}
+}
+
+// TestTileSizeAtLeastDimension checks tile sizes >= the dimension collapse
+// the map to a single tile holding every nonzero, and the model still runs.
+func TestTileSizeAtLeastDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := tensor.UniformRandom("B", rng, 50, 96, 96)
+	c := tensor.UniformRandom("C", rng, 50, 96, 96)
+	for _, tile := range []int{96, 128, 1000} {
+		tm := Tile(b, tile)
+		if tm.Grid != 1 {
+			t.Errorf("tile %d: grid = %d, want 1", tile, tm.Grid)
+		}
+		if tm.NonemptyTiles() != 1 {
+			t.Errorf("tile %d: nonempty tiles = %d, want 1", tile, tm.NonemptyTiles())
+		}
+		if got := tm.NNZ[[2]int{0, 0}]; got != b.NNZ() {
+			t.Errorf("tile %d: tile (0,0) holds %d nonzeros, want %d", tile, got, b.NNZ())
+		}
+		cfg := DefaultConfig()
+		cfg.TileSize = tile
+		st := SpMSpM(b, c, cfg)
+		if st.TilePairs != 1 {
+			t.Errorf("tile %d: modeled %d pairs, want 1", tile, st.TilePairs)
+		}
+		if st.SkippedPairs != 0 {
+			t.Errorf("tile %d: skipped %d pairs, want 0", tile, st.SkippedPairs)
+		}
+	}
+}

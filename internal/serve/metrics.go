@@ -21,11 +21,43 @@ type metrics struct {
 	cycles    int64 // total simulated cycles served
 	latencies []time.Duration
 	latNext   int
+
+	// engineRuns counts completed requests by the engine that actually
+	// executed them; fallbacks counts requests where that engine differs
+	// from the requested one (the compiled engine falling back to the event
+	// engine for graphs it cannot lower).
+	engineRuns map[string]int64
+	fallbacks  int64
 }
 
 func (m *metrics) admit()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }
 func (m *metrics) reject() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) fail()   { m.mu.Lock(); m.failures++; m.mu.Unlock() }
+
+// engine records one completed request's executing engine and whether it
+// was a fallback from the requested engine.
+func (m *metrics) engine(executed string, fallback bool) {
+	m.mu.Lock()
+	if m.engineRuns == nil {
+		m.engineRuns = map[string]int64{}
+	}
+	m.engineRuns[executed]++
+	if fallback {
+		m.fallbacks++
+	}
+	m.mu.Unlock()
+}
+
+// engines snapshots the per-engine run counts and the fallback total.
+func (m *metrics) engines() (map[string]int64, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	runs := make(map[string]int64, len(m.engineRuns))
+	for k, v := range m.engineRuns {
+		runs[k] = v
+	}
+	return runs, m.fallbacks
+}
 
 // observe records one completed request's latency and simulated cycles.
 func (m *metrics) observe(d time.Duration, cycles int) {

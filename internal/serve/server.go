@@ -337,13 +337,22 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 		j.status = "failed"
 		j.errMsg = errMsg
 	} else {
+		// Report the engine that actually executed the request: it differs
+		// from the requested one only when the compiled engine fell back to
+		// the event engine for a graph outside its block set.
+		executed := string(res.Engine)
+		if executed == "" {
+			executed = j.prep.engine
+		}
+		s.metrics.engine(executed, executed != j.prep.engine)
 		j.status = "done"
 		j.resp = &EvaluateResponse{
 			Cycles:      res.Cycles,
 			Output:      fromCOO(res.Output),
 			Fingerprint: j.prep.prog.Fingerprint(),
 			Cache:       map[bool]string{true: "hit", false: "miss"}[j.prep.cacheHit],
-			Engine:      j.prep.engine,
+			Engine:      executed,
+			Requested:   j.prep.engine,
 			SetupNS:     j.prep.setup.Nanoseconds(),
 			ElapsedNS:   elapsed.Nanoseconds(),
 		}
@@ -383,6 +392,11 @@ type StatsResponse struct {
 	CyclesSimulated int64   `json:"cycles_simulated"`
 	LatencyP50MS    float64 `json:"latency_p50_ms"`
 	LatencyP99MS    float64 `json:"latency_p99_ms"`
+	// EngineRuns counts completed requests by the engine that executed
+	// them; EngineFallbacks counts requests whose executing engine differed
+	// from the requested one (comp falling back to event).
+	EngineRuns      map[string]int64 `json:"engine_runs"`
+	EngineFallbacks int64            `json:"engine_fallbacks"`
 }
 
 // Stats snapshots the service counters.
@@ -390,11 +404,13 @@ func (s *Server) Stats() StatsResponse {
 	requests, rejected, failures, cycles := s.metrics.counters()
 	hits, misses, evictions, size := s.cache.stats()
 	p50, p99 := s.metrics.percentiles()
+	engineRuns, fallbacks := s.metrics.engines()
 	return StatsResponse{
 		Requests: requests, Rejected: rejected, Failures: failures,
 		CacheHits: hits, CacheMisses: misses, CacheEvictions: evictions,
 		CachePrograms: size, QueueDepth: s.queue.depth(), Workers: s.cfg.Workers,
 		CyclesSimulated: cycles, LatencyP50MS: p50, LatencyP99MS: p99,
+		EngineRuns: engineRuns, EngineFallbacks: fallbacks,
 	}
 }
 

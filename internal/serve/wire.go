@@ -43,7 +43,10 @@ type WireSchedule struct {
 
 // WireOptions carries the per-request simulation options.
 type WireOptions struct {
-	// Engine selects the executor: "event" (default), "naive", or "flow".
+	// Engine selects the executor: "event" (default), "naive", "flow", or
+	// "comp" (the compiled co-iteration engine; graphs it cannot lower run
+	// on the event engine, reported in the response's engine field and the
+	// engine_fallbacks counter).
 	Engine string `json:"engine,omitempty"`
 	// MaxCycles aborts runaway simulations; 0 means the engine default.
 	MaxCycles int `json:"max_cycles,omitempty"`
@@ -70,8 +73,13 @@ type EvaluateResponse struct {
 	// Cache reports whether the compiled program was reused: "hit" or
 	// "miss".
 	Cache string `json:"cache"`
-	// Engine names the executor that ran the request.
+	// Engine names the executor that actually ran the request; it differs
+	// from Requested only when the compiled engine fell back to the event
+	// engine for a graph outside its block set.
 	Engine string `json:"engine"`
+	// Requested names the executor the request asked for (the resolved
+	// default when options.engine was omitted).
+	Requested string `json:"requested_engine"`
 	// SetupNS is the program-resolution time in nanoseconds: parse plus
 	// cache lookup on a hit, parse plus compile plus program build on a
 	// miss. The warm/cold setup ratio is the cache's value.

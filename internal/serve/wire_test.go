@@ -36,33 +36,45 @@ func TestWireFormatErrorPaths(t *testing.T) {
 		wantMsg string
 	}{
 		{
-			name:   "coords values length mismatch",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0, 0}}, Values: []float64{1, 2}} },
+			name: "coords values length mismatch",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0, 0}}, Values: []float64{1, 2}}
+			},
 			status: http.StatusBadRequest, wantMsg: "1 coords but 2 values",
 		},
 		{
-			name:   "coord arity under rank",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0}, {2, 1}}, Values: []float64{1, 2}} },
+			name: "coord arity under rank",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0}, {2, 1}}, Values: []float64{1, 2}}
+			},
 			status: http.StatusBadRequest, wantMsg: "arity 1, want 2",
 		},
 		{
-			name:   "coordinate outside dimension",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0, 0}, {3, 1}}, Values: []float64{1, 2}} },
+			name: "coordinate outside dimension",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{0, 0}, {3, 1}}, Values: []float64{1, 2}}
+			},
 			status: http.StatusBadRequest, wantMsg: "outside [0,3)",
 		},
 		{
-			name:   "negative coordinate",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{-1, 0}, {2, 1}}, Values: []float64{1, 2}} },
+			name: "negative coordinate",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{-1, 0}, {2, 1}}, Values: []float64{1, 2}}
+			},
 			status: http.StatusBadRequest, wantMsg: "outside [0,3)",
 		},
 		{
-			name:   "duplicate coordinates",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{2, 1}, {2, 1}}, Values: []float64{1, 2}} },
+			name: "duplicate coordinates",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 2}, Coords: [][]int64{{2, 1}, {2, 1}}, Values: []float64{1, 2}}
+			},
 			status: http.StatusBadRequest, wantMsg: "duplicates coord",
 		},
 		{
-			name:   "non-positive dimension",
-			mutate: func(r *EvaluateRequest) { r.Inputs["B"] = WireTensor{Dims: []int{3, 0}, Coords: [][]int64{{0, 0}}, Values: []float64{1}} },
+			name: "non-positive dimension",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["B"] = WireTensor{Dims: []int{3, 0}, Coords: [][]int64{{0, 0}}, Values: []float64{1}}
+			},
 			status: http.StatusBadRequest, wantMsg: "non-positive dimension",
 		},
 		{
@@ -77,13 +89,17 @@ func TestWireFormatErrorPaths(t *testing.T) {
 			status: http.StatusBadRequest, wantMsg: "order-0",
 		},
 		{
-			name:   "rank mismatch against access",
-			mutate: func(r *EvaluateRequest) { r.Inputs["c"] = WireTensor{Dims: []int{2, 2}, Coords: [][]int64{{0, 0}}, Values: []float64{3}} },
+			name: "rank mismatch against access",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["c"] = WireTensor{Dims: []int{2, 2}, Coords: [][]int64{{0, 0}}, Values: []float64{3}}
+			},
 			status: http.StatusBadRequest, wantMsg: "order 2",
 		},
 		{
-			name:   "shared index dimension mismatch",
-			mutate: func(r *EvaluateRequest) { r.Inputs["c"] = WireTensor{Dims: []int{5}, Coords: [][]int64{{0}}, Values: []float64{3}} },
+			name: "shared index dimension mismatch",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["c"] = WireTensor{Dims: []int{5}, Coords: [][]int64{{0}}, Values: []float64{3}}
+			},
 			status: http.StatusBadRequest, wantMsg: "index \"j\"",
 		},
 		{
@@ -92,8 +108,10 @@ func TestWireFormatErrorPaths(t *testing.T) {
 			status: http.StatusBadRequest, wantMsg: "no input for tensor \"c\"",
 		},
 		{
-			name:   "unreferenced input",
-			mutate: func(r *EvaluateRequest) { r.Inputs["Z"] = WireTensor{Dims: []int{2}, Coords: [][]int64{{0}}, Values: []float64{1}} },
+			name: "unreferenced input",
+			mutate: func(r *EvaluateRequest) {
+				r.Inputs["Z"] = WireTensor{Dims: []int{2}, Coords: [][]int64{{0}}, Values: []float64{1}}
+			},
 			status: http.StatusBadRequest, wantMsg: "not referenced",
 		},
 		{

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// TestCompEngineRuns checks the compiled engine end to end through the
+// public sim entry points: identical output to the event engine, Engine
+// recorded on the result, zero cycles.
+func TestCompEngineRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := lang.MustParse("X(i,j) = B(i,k) * C(k,j)")
+	g, err := custard.Compile(e, nil, lang.Schedule{LoopOrder: []string{"i", "k", "j"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tensor.UniformRandom("B", rng, 80, 30, 20)
+	c := tensor.UniformRandom("C", rng, 80, 20, 25)
+	tensor.QuantizeInts(rng, 7, b, c)
+	inputs := map[string]*tensor.COO{"B": b, "C": c}
+
+	ref, err := Run(g, inputs, Options{Engine: EngineEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, inputs, Options{Engine: EngineComp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != EngineComp {
+		t.Errorf("Result.Engine = %q, want %q", got.Engine, EngineComp)
+	}
+	if got.Cycles != 0 {
+		t.Errorf("comp engine reported %d cycles, want 0", got.Cycles)
+	}
+	if err := tensor.IdenticalBits(ref.Output, got.Output); err != nil {
+		t.Errorf("comp output differs from event: %v", err)
+	}
+}
+
+// TestCompEngineFallsBackOnBitvector checks the fallback contract: a graph
+// outside the compiled block set (the bitvector pipeline) still runs under
+// Options{Engine: EngineComp}, on the event engine, with the fallback
+// recorded in Result.Engine — and CheckEngine accepts it up front.
+func TestCompEngineFallsBackOnBitvector(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	e := lang.MustParse("x(i) = b(i) * c(i)")
+	g, err := custard.CompileBitvector(e, lang.Formats{
+		"b": lang.Uniform(1, fiber.Bitvector),
+		"c": lang.Uniform(1, fiber.Bitvector),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEngine(EngineComp, g); err != nil {
+		t.Fatalf("CheckEngine(comp) rejected a fallback-eligible graph: %v", err)
+	}
+	b := tensor.UniformRandom("b", rng, 40, 200)
+	c := tensor.UniformRandom("c", rng, 40, 200)
+	inputs := map[string]*tensor.COO{"b": b, "c": c}
+
+	ref, err := Run(g, inputs, Options{Engine: EngineEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, inputs, Options{Engine: EngineComp})
+	if err != nil {
+		t.Fatalf("comp engine did not fall back: %v", err)
+	}
+	if got.Engine != EngineEvent {
+		t.Errorf("fallback Result.Engine = %q, want %q", got.Engine, EngineEvent)
+	}
+	if got.Cycles != ref.Cycles {
+		t.Errorf("fallback cycles = %d, want the event engine's %d", got.Cycles, ref.Cycles)
+	}
+	if err := tensor.IdenticalBits(ref.Output, got.Output); err != nil {
+		t.Errorf("fallback output differs from event: %v", err)
+	}
+}
+
+// TestCompProgramReuse checks the lazy comp lowering is cached on the
+// Program and concurrent-safe: repeated and parallel RunProgram calls return
+// identical outputs.
+func TestCompProgramReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := lang.MustParse("x(i) = B(i,j) * c(j)")
+	g, err := custard.Compile(e, nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tensor.UniformRandom("B", rng, 60, 20, 15)
+	c := tensor.UniformRandom("c", rng, 10, 15)
+	tensor.QuantizeInts(rng, 7, b, c)
+	inputs := map[string]*tensor.COO{"B": b, "c": c}
+
+	first, err := p.Run(inputs, Options{Engine: EngineComp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			res, err := p.Run(inputs, Options{Engine: EngineComp})
+			if err == nil {
+				err = tensor.IdenticalBits(first.Output, res.Output)
+			}
+			results <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("concurrent comp run %d: %v", i, err)
+		}
+	}
+}
+
+// TestEngineRegistry checks the registered engine list and the unknown-
+// engine error: user-facing tools print this list, so it must name every
+// engine including comp.
+func TestEngineRegistry(t *testing.T) {
+	kinds := Engines()
+	want := []EngineKind{EngineEvent, EngineNaive, EngineFlow, EngineComp}
+	if len(kinds) != len(want) {
+		t.Fatalf("Engines() = %v, want %v", kinds, want)
+	}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Errorf("Engines()[%d] = %q, want %q", i, kinds[i], k)
+		}
+		if _, err := EngineFor(k); err != nil {
+			t.Errorf("EngineFor(%q): %v", k, err)
+		}
+	}
+	_, err := EngineFor("bogus")
+	if err == nil {
+		t.Fatal("EngineFor(bogus) = nil error")
+	}
+	for _, k := range want {
+		if !strings.Contains(err.Error(), string(k)) {
+			t.Errorf("unknown-engine error %q does not list %q", err, k)
+		}
+	}
+}

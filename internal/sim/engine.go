@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
+	"sam/internal/comp"
 	"sam/internal/core"
 	"sam/internal/flow"
 	"sam/internal/graph"
@@ -33,7 +35,33 @@ const (
 	// reducers deeper than matrices are rejected up front by CheckEngine
 	// with a descriptive error.
 	EngineFlow EngineKind = "flow"
+	// EngineComp is the compiled co-iteration engine from internal/comp: the
+	// graph is lowered once into a tree of Go closures that co-iterate the
+	// bound fibertree storage directly — no token queues, no per-cycle
+	// scheduling — producing outputs bit-identical to the cycle engines.
+	//
+	// Like EngineFlow it computes outputs only: Result.Cycles is zero and no
+	// stream statistics are gathered. Unlike EngineFlow it never rejects a
+	// graph: graphs outside its block set (the bitvector pipeline) fall back
+	// to the event engine transparently, recorded in Result.Engine, so
+	// CheckEngine always accepts it.
+	EngineComp EngineKind = "comp"
 )
+
+// Engines lists every registered engine kind, in the order user-facing
+// messages should print them.
+func Engines() []EngineKind {
+	return []EngineKind{EngineEvent, EngineNaive, EngineFlow, EngineComp}
+}
+
+// engineList renders the registered engines for error messages.
+func engineList() string {
+	names := make([]string, 0, len(Engines()))
+	for _, k := range Engines() {
+		names = append(names, fmt.Sprintf("%q", string(k)))
+	}
+	return strings.Join(names, ", ")
+}
 
 // Engine executes a compiled SAM graph against bound inputs. Both
 // cycle-accurate schedulers and the goroutine executor implement it; pick
@@ -49,11 +77,13 @@ type Engine interface {
 }
 
 // CheckEngine reports up front whether the engine can execute the graph.
-// The cycle engines run every block kind; the goroutine executor
-// (EngineFlow) supports the core block set only, so graphs using galloping
-// intersection (Schedule.UseSkip), the bitvector pipeline, or reducers
-// deeper than matrices get a descriptive error here instead of failing
-// mid-run. An unknown engine kind also errors.
+// The cycle engines run every block kind, and the compiled engine
+// (EngineComp) accepts every graph because it falls back to the event
+// engine for blocks it cannot lower; the goroutine executor (EngineFlow)
+// supports the core block set only, so graphs using galloping intersection
+// (Schedule.UseSkip), the bitvector pipeline, or reducers deeper than
+// matrices get a descriptive error here instead of failing mid-run. An
+// unknown engine kind also errors.
 func CheckEngine(kind EngineKind, g *graph.Graph) error {
 	if _, err := EngineFor(kind); err != nil {
 		return err
@@ -90,8 +120,10 @@ func EngineFor(kind EngineKind) (Engine, error) {
 		return cycleEngine{kind: EngineNaive}, nil
 	case EngineFlow:
 		return flowEngine{}, nil
+	case EngineComp:
+		return compEngine{}, nil
 	}
-	return nil, fmt.Errorf("sim: unknown engine %q (want %q, %q or %q)", kind, EngineEvent, EngineNaive, EngineFlow)
+	return nil, fmt.Errorf("sim: unknown engine %q (registered engines: %s)", kind, engineList())
 }
 
 // cycleEngine runs graphs on the cycle-accurate core.Net simulator, with
@@ -131,7 +163,7 @@ func (e cycleEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt O
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}}
+	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}, Engine: e.kind}
 	b.streams(res)
 	return res, nil
 }
@@ -150,7 +182,7 @@ func (flowEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: out, Streams: map[string]*core.StreamStats{}}, nil
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineFlow}, nil
 }
 
 func (e flowEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
@@ -163,5 +195,50 @@ func (e flowEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: out, Streams: map[string]*core.StreamStats{}}, nil
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineFlow}, nil
+}
+
+// compEngine adapts the compiled co-iteration engine (internal/comp) to the
+// Engine interface. Graphs its lowering does not support — the bitvector
+// pipeline — fall back to the event engine; the Result records which engine
+// actually ran.
+type compEngine struct{}
+
+func (compEngine) Name() string { return string(EngineComp) }
+
+func (e compEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	p, err := NewProgram(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunProgram(p, inputs, opt)
+}
+
+func (e compEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	cp, err := p.compProgram()
+	if err != nil {
+		// Fall back to the event engine only for graphs outside the
+		// compiled block set, per the CheckEngine contract that comp
+		// accepts every graph; the Result's Engine field records the
+		// fallback. Any other lowering failure on a supported graph is a
+		// comp bug and must surface, not be papered over by a silently
+		// different engine.
+		if comp.Check(p.g) != nil {
+			return cycleEngine{kind: EngineEvent}.RunProgram(p, inputs, opt)
+		}
+		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
+	}
+	bound, err := p.plan.Operands(inputs)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := p.plan.OutputDims(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := cp.Run(bound, dims)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
+	}
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineComp}, nil
 }

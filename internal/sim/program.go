@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"sam/internal/bind"
+	"sam/internal/comp"
 	"sam/internal/graph"
 	"sam/internal/tensor"
 )
@@ -25,6 +27,15 @@ type Program struct {
 	// flowErr caches CheckEngine(EngineFlow, g): the support check is
 	// input-independent, so it is paid once here, not per request.
 	flowErr error
+
+	// The compiled (internal/comp) lowering is built lazily on the first
+	// comp-engine run and reused for the program's lifetime, so cached
+	// programs in the serving layer amortize lowering exactly like the
+	// wiring plan. compErr caches lowering rejection (unsupported blocks),
+	// which triggers the event-engine fallback.
+	compOnce sync.Once
+	compProg *comp.Program
+	compErr  error
 
 	// labels holds each edge's producer-side "node/port" stream label.
 	labels []string
@@ -69,6 +80,16 @@ func NewProgram(g *graph.Graph) (*Program, error) {
 
 // Graph returns the compiled graph the program executes.
 func (p *Program) Graph() *graph.Graph { return p.g }
+
+// compProgram returns the program's compiled-engine lowering, building it on
+// first use. An error means the graph is outside the compiled block set and
+// the comp engine must fall back to the event engine.
+func (p *Program) compProgram() (*comp.Program, error) {
+	p.compOnce.Do(func() {
+		p.compProg, p.compErr = comp.Compile(p.g)
+	})
+	return p.compProg, p.compErr
+}
 
 // Fingerprint returns the graph's canonical fingerprint (see
 // graph.Graph.Fingerprint), the program's cache identity.

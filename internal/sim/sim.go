@@ -8,11 +8,14 @@
 // the formats request), runs the net to completion, gathers per-stream token
 // statistics, and assembles the output tensor from the level writers.
 //
-// Three engines implement the Engine interface: the default event-driven
+// Four engines implement the Engine interface: the default event-driven
 // ready-set scheduler, the naive tick-all reference loop (bit-identical
-// results, kept for differential testing), and the goroutine-per-block
-// functional executor from internal/flow. Select one with Options.Engine;
-// run many graph+input bindings concurrently with RunBatch.
+// results, kept for differential testing), the goroutine-per-block
+// functional executor from internal/flow, and the compiled co-iteration
+// engine from internal/comp (bit-identical outputs, no cycle model; graphs
+// it cannot lower fall back to the event engine). Select one with
+// Options.Engine; run many graph+input bindings concurrently with
+// RunBatch.
 package sim
 
 import (
@@ -48,6 +51,11 @@ type Result struct {
 	// Streams holds per-stream statistics keyed by "node/port" labels, for
 	// the Figure 14 token-breakdown study.
 	Streams map[string]*core.StreamStats
+	// Engine names the engine that actually executed the run. It differs
+	// from Options.Engine only when the compiled engine (EngineComp) fell
+	// back to the event engine for a graph outside its block set; serving
+	// counts those fallbacks per engine.
+	Engine EngineKind
 }
 
 // Run compiles nothing — it executes an already-compiled graph against the

@@ -115,13 +115,36 @@ func (c *COO) Split(name string, d, chunks int) (*COO, error) {
 // formats. The COO is sorted as a side effect.
 func (c *COO) Build(formats ...fiber.Format) (*fiber.Tensor, error) {
 	c.Sort()
+	return c.BuildNamed(c.Name, formats...)
+}
+
+// SortedStrict reports whether the stored points are strictly ascending
+// lexicographically (sorted, no duplicates), without mutating the tensor.
+// Callers use it to take read-only fast paths that are safe under
+// concurrent runs sharing one input tensor.
+func (c *COO) SortedStrict() bool {
+	for i := 1; i < len(c.Pts); i++ {
+		if !lexLess(c.Pts[i-1].Crd, c.Pts[i].Crd) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildNamed converts the COO tensor to fibertree storage under the given
+// tensor name without mutating the receiver: points must already be strictly
+// sorted (fiber.Build validates and errors otherwise). Coordinate slices are
+// shared with the fibertree builder, which only reads them, so concurrent
+// BuildNamed calls on one tensor are safe — the property the operand-binding
+// fast path relies on.
+func (c *COO) BuildNamed(name string, formats ...fiber.Format) (*fiber.Tensor, error) {
 	coords := make([][]int64, len(c.Pts))
 	vals := make([]float64, len(c.Pts))
 	for i, p := range c.Pts {
 		coords[i] = p.Crd
 		vals[i] = p.Val
 	}
-	return fiber.Build(c.Name, c.Dims, formats, coords, vals)
+	return fiber.Build(name, c.Dims, formats, coords, vals)
 }
 
 // FromFiber converts fibertree storage back to COO (sorted).

@@ -1,0 +1,83 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// TestTiledEmptyOperand checks tiled SpM*SpM with an all-empty operand:
+// no tile pairs launch, the result is empty, and the gold evaluator agrees.
+func TestTiledEmptyOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := tensor.NewCOO("B", 64, 64)
+	c := tensor.UniformRandom("C", rng, 60, 64, 64)
+	out, st, err := SpMSpM(b, c, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilePairs != 0 {
+		t.Errorf("empty B launched %d tile pairs, want 0", st.TilePairs)
+	}
+	if out.NNZ() != 0 {
+		t.Errorf("empty B produced %d nonzeros", out.NNZ())
+	}
+}
+
+// TestTiledAllEmptyTileRows checks disjoint tile supports: B's populated
+// tile columns never meet a populated C tile row, so every pair is skipped
+// by tile-coordinate intersection yet the (empty) result is still exact.
+func TestTiledAllEmptyTileRows(t *testing.T) {
+	b := tensor.NewCOO("B", 64, 64)
+	b.Append(1, 0, 0) // tile column 0
+	b.Append(2, 50, 5)
+	c := tensor.NewCOO("C", 64, 64)
+	c.Append(3, 40, 0) // tile rows 2+ only
+	c.Append(4, 60, 60)
+	out, st, err := SpMSpM(b, c, Options{TileSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TilePairs != 0 {
+		t.Errorf("disjoint supports launched %d tile pairs, want 0", st.TilePairs)
+	}
+	if st.SequencerCycles == 0 {
+		t.Error("no sequencer cycles recorded; tile skipping should still cost coordinate tokens")
+	}
+	e := lang.MustParse("X(i,j) = B(i,k) * C(k,j)")
+	want, err := lang.Gold(e, map[string]*tensor.COO{"B": b, "C": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tensor.Equal(out, want, 1e-9); err != nil {
+		t.Errorf("result differs from gold: %v", err)
+	}
+}
+
+// TestTileSizeAtLeastDimension checks tile sizes >= the matrix dimension:
+// the computation degenerates to exactly one whole-matrix tile pair and
+// still matches the gold evaluator.
+func TestTileSizeAtLeastDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := tensor.UniformRandom("B", rng, 70, 48, 48)
+	c := tensor.UniformRandom("C", rng, 70, 48, 48)
+	e := lang.MustParse("X(i,j) = B(i,k) * C(k,j)")
+	want, err := lang.Gold(e, map[string]*tensor.COO{"B": b, "C": c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range []int{48, 64, 500} {
+		out, st, err := SpMSpM(b, c, Options{TileSize: tile})
+		if err != nil {
+			t.Fatalf("tile %d: %v", tile, err)
+		}
+		if st.TilePairs != 1 {
+			t.Errorf("tile %d: launched %d tile pairs, want 1", tile, st.TilePairs)
+		}
+		if err := tensor.Equal(out, want, 1e-9); err != nil {
+			t.Errorf("tile %d: result differs from gold: %v", tile, err)
+		}
+	}
+}

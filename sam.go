@@ -14,15 +14,22 @@
 //	res, err := sam.Simulate(g, sam.Inputs{"B": b, "c": c}, sam.Options{})
 //	fmt.Println(res.Cycles, res.Output)
 //
-// Simulation runs on one of three engines selected by Options.Engine: the
+// Simulation runs on one of four engines selected by Options.Engine: the
 // default event-driven ready-set scheduler (EngineEvent), which ticks only
 // blocks with newly visible input, freed backpressure space, or pending
 // internal work; the naive tick-all reference loop (EngineNaive), which is
-// bit-identical and exists for differential testing; and the functional
-// goroutine-per-block executor (EngineFlow). EngineFlow's limitations are
-// documented on the sim.EngineFlow constant (re-exported here): it computes
-// outputs only — no cycle counts, no stream statistics — and rejects graphs
-// using gallop or bitvector blocks up front via CheckEngine.
+// bit-identical and exists for differential testing; the functional
+// goroutine-per-block executor (EngineFlow); and the compiled co-iteration
+// engine (EngineComp), which lowers the graph once into a tree of Go
+// closures that walk the bound fibertree storage directly — no token
+// queues, no per-cycle scheduling — and is the fastest way to compute a
+// kernel's output. EngineFlow's limitations are documented on the
+// sim.EngineFlow constant (re-exported here): it computes outputs only —
+// no cycle counts, no stream statistics — and rejects graphs using gallop
+// or bitvector blocks up front via CheckEngine. EngineComp also computes
+// outputs only, but never rejects a graph: the bitvector pipeline (the one
+// block family it cannot lower) falls back to the event engine
+// transparently, recorded in Result.Engine.
 //
 // # Serving
 //
@@ -142,13 +149,18 @@ type Result = sim.Result
 type EngineKind = sim.EngineKind
 
 // The available engines: the default event-driven ready-set scheduler, the
-// naive tick-all reference loop, and the goroutine-per-block functional
-// executor.
+// naive tick-all reference loop, the goroutine-per-block functional
+// executor, and the compiled co-iteration engine (outputs bit-identical to
+// the cycle engines; graphs it cannot lower fall back to the event engine).
 const (
 	EngineEvent = sim.EngineEvent
 	EngineNaive = sim.EngineNaive
 	EngineFlow  = sim.EngineFlow
+	EngineComp  = sim.EngineComp
 )
+
+// Engines lists every registered engine kind.
+func Engines() []EngineKind { return sim.Engines() }
 
 // Job is one graph + input binding for SimulateBatch. Setting Job.Program
 // instead of Job.Graph runs a precompiled Program, skipping per-job
@@ -265,7 +277,9 @@ func CompileProgram(expr string, formats Formats, sched Schedule) (*Program, err
 func NewServer(cfg ServerConfig) *Server { return serve.NewServer(cfg) }
 
 // CheckEngine reports up front whether an engine can execute a graph
-// (EngineFlow supports the core block set only; see sim.EngineFlow).
+// (EngineFlow supports the core block set only; EngineComp accepts every
+// graph and falls back to the event engine for the bitvector pipeline; see
+// the sim.EngineFlow and sim.EngineComp constants).
 func CheckEngine(kind EngineKind, g *Graph) error { return sim.CheckEngine(kind, g) }
 
 // Evaluate computes the statement directly on dense data — the gold
