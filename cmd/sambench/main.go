@@ -13,9 +13,10 @@
 //	sambench -exp serve -json > BENCH_PR3.json # serving cache + scaling study
 //	sambench -exp opt -json > BENCH_PR4.json   # graph-optimizer study
 //	sambench -exp comp -json > BENCH_PR5.json  # compiled-engine speedup study
+//	sambench -exp throughput -json > BENCH_PR6.json # lane/pool/batch throughput study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
-// fig15, pointlevel, engines, parallel, serve, opt, comp.
+// fig15, pointlevel, engines, parallel, serve, opt, comp, throughput.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"slices"
 	"strconv"
 	"strings"
@@ -33,15 +35,20 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
+// CPUs and GoMaxProcs pin the host parallelism of every row: wall-clock and
+// throughput numbers are not comparable across rows measured under
+// different core budgets.
 type jsonResult struct {
 	Experiment string  `json:"experiment"`
 	Seed       int64   `json:"seed"`
 	Scale      float64 `json:"scale"`
 	Engine     string  `json:"engine"`
+	CPUs       int     `json:"cpus"`
+	GoMaxProcs int     `json:"gomaxprocs"`
 	ElapsedMS  float64 `json:"elapsed_ms"`
 	Data       any     `json:"data"`
 }
@@ -112,6 +119,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			}
 			records = append(records, jsonResult{
 				Experiment: name, Seed: *seed, Scale: *scale, Engine: eng,
+				CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 				ElapsedMS: float64(elapsed.Microseconds()) / 1000, Data: data,
 			})
 			continue
@@ -238,6 +246,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderComp(rows), rows, nil
+	case "throughput":
+		res, err := experiments.ThroughputStudy(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderThroughput(res), res, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

@@ -85,6 +85,46 @@ func TestSmokeServeJSON(t *testing.T) {
 	}
 }
 
+// TestSmokeThroughputJSON runs the throughput study at a tiny scale and
+// checks the -json record carries the lane, alloc and serve sections plus
+// the host-parallelism fields every BENCH row must pin.
+func TestSmokeThroughputJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"-exp", "throughput", "-scale", "0.05", "-json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var records []jsonResult
+	if err := json.Unmarshal(stdout.Bytes(), &records); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(records) != 1 || records[0].Experiment != "throughput" {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].CPUs < 1 || records[0].GoMaxProcs < 1 {
+		t.Errorf("record cpus/gomaxprocs = %d/%d, want >= 1", records[0].CPUs, records[0].GoMaxProcs)
+	}
+	data, ok := records[0].Data.(map[string]any)
+	if !ok {
+		t.Fatalf("data is %T, want an object", records[0].Data)
+	}
+	for _, section := range []string{"cpus", "gomaxprocs", "lanes", "allocs", "serve"} {
+		if _, ok := data[section]; !ok {
+			t.Errorf("data missing section %q", section)
+		}
+	}
+	allocs, ok := data["allocs"].([]any)
+	if !ok || len(allocs) == 0 {
+		t.Fatalf("allocs section = %v, want non-empty list", data["allocs"])
+	}
+	for _, a := range allocs {
+		pt := a.(map[string]any)
+		if n := pt["allocs_per_run"].(float64); n != 0 {
+			t.Errorf("kernel %v: allocs_per_run = %v, want 0", pt["kernel"], n)
+		}
+	}
+}
+
 // TestParFlagRequiresParallelExperiment checks the flag-combination
 // validation: -par without the parallel experiment fails up front.
 func TestParFlagRequiresParallelExperiment(t *testing.T) {

@@ -1,0 +1,201 @@
+package comp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/bind"
+	"sam/internal/comp"
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// compileCase lowers one (expr, schedule) configuration to a compiled
+// program with its operand binding, from deterministic integer inputs.
+func compileCase(t testing.TB, expr string, sched lang.Schedule, seed int64) (*comp.Program, map[string]*fiber.Tensor, []int) {
+	t.Helper()
+	e, err := lang.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	g, err := custard.Compile(e, nil, sched)
+	if err != nil {
+		t.Fatalf("custard %q: %v", expr, err)
+	}
+	cp, err := comp.Compile(g)
+	if err != nil {
+		t.Fatalf("comp %q: %v", expr, err)
+	}
+	dims := map[string]int{"i": 48, "j": 40, "k": 24, "l": 12}
+	rng := rand.New(rand.NewSource(seed))
+	inputs := randomInputs(rng, e, func(v string) int { return dims[v] })
+	bound, err := bind.Operands(g, inputs)
+	if err != nil {
+		t.Fatalf("bind %q: %v", expr, err)
+	}
+	odims, err := bind.OutputDims(g, inputs)
+	if err != nil {
+		t.Fatalf("output dims %q: %v", expr, err)
+	}
+	return cp, bound, odims
+}
+
+// TestWarmRunPooledZeroAllocs is the alloc gate of the serve hot path: once
+// a run context is warm (buffers grown to the program's high-water marks),
+// RunPooled must not touch the heap at all. CI fails this test on any
+// regression, so every lowered closure stays on arena scratch.
+func TestWarmRunPooledZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name  string
+		expr  string
+		sched lang.Schedule
+	}{
+		{"spmv", "x(i) = B(i,j) * c(j)", lang.Schedule{}},
+		{"spmv-opt", "x(i) = B(i,j) * c(j)", lang.Schedule{Opt: 1}},
+		{"spmspm-ikj", "X(i,j) = B(i,k) * C(k,j)", lang.Schedule{LoopOrder: []string{"i", "k", "j"}}},
+		{"spmspm-ijk", "X(i,j) = B(i,k) * C(k,j)", lang.Schedule{LoopOrder: []string{"i", "j", "k"}}},
+		{"spmspm-kij", "X(i,j) = B(i,k) * C(k,j)", lang.Schedule{LoopOrder: []string{"k", "i", "j"}}},
+		{"sddmm", "X(i,j) = B(i,j) * C(i,k) * D(j,k)", lang.Schedule{}},
+		{"innerprod", "x = B(i,j) * C(i,j)", lang.Schedule{}},
+		{"mmadd", "X(i,j) = B(i,j) + C(i,j)", lang.Schedule{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp, bound, dims := compileCase(t, tc.expr, tc.sched, 11)
+			rc := cp.NewCtx()
+			for i := 0; i < 3; i++ { // grow buffers to steady state
+				if _, err := cp.RunPooled(rc, bound, dims); err != nil {
+					t.Fatalf("warmup run: %v", err)
+				}
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := cp.RunPooled(rc, bound, dims); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("warm RunPooled allocated %.1f objects/run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkWarmRun reports the warm-path cost of both entry points: the
+// borrowed-output RunPooled (the zero-alloc hot path) and Run, which adds
+// one output clone per call.
+func BenchmarkWarmRun(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		expr string
+	}{
+		{"SpMV", "x(i) = B(i,j) * c(j)"},
+		{"SpMSpM", "X(i,j) = B(i,k) * C(k,j)"},
+	} {
+		cp, bound, dims := compileCase(b, bc.expr, lang.Schedule{}, 11)
+		b.Run(bc.name+"/pooled", func(b *testing.B) {
+			rc := cp.NewCtx()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.RunPooled(rc, bound, dims); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bc.name+"/cloned", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Run(bound, dims); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestLanePlanActivates pins the lane planner's coverage: the headline
+// parallel kernels must actually compile to goroutine plans at Par > 1 (and
+// must not at Par = 1), so the differential battery's goroutine-vs-merged
+// comparison is exercising real fork/join execution, not a silent
+// sequential fallback.
+func TestLanePlanActivates(t *testing.T) {
+	cases := []struct {
+		expr  string
+		order []string
+	}{
+		{"x(i) = B(i,j) * c(j)", nil},
+		{"X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+		{"X(i,j) = B(i,k) * C(k,j)", []string{"i", "j", "k"}},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 4} {
+			sched := lang.Schedule{LoopOrder: tc.order, Par: par}
+			cp, bound, dims := compileCase(t, tc.expr, sched, 3)
+			if got, want := cp.Parallel(), par > 1; got != want {
+				t.Errorf("%s par%d: Parallel() = %v, want %v", tc.expr, par, got, want)
+			}
+			if _, err := cp.Run(bound, dims); err != nil {
+				t.Errorf("%s par%d: run: %v", tc.expr, par, err)
+			}
+		}
+	}
+}
+
+// TestRunPooledReuseIsolation is the pool-reuse correctness test: outputs
+// cloned from earlier runs stay intact after the context is reused, and a
+// context that just ran one operand set produces the same bits for another
+// operand set as a fresh context — run A's buffers never leak into run B's
+// output.
+func TestRunPooledReuseIsolation(t *testing.T) {
+	expr := "X(i,j) = B(i,k) * C(k,j)"
+	sched := lang.Schedule{LoopOrder: []string{"i", "k", "j"}}
+	cpA, boundA, dimsA := compileCase(t, expr, sched, 5)
+	_, boundB, dimsB := compileCase(t, expr, sched, 17)
+
+	rc := cpA.NewCtx()
+	outA, err := cpA.RunPooled(rc, boundA, dimsA)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	keepA := cloneForTest(outA)
+	outB, err := cpA.RunPooled(rc, boundB, dimsB) // reuses A's buffers
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	keepB := cloneForTest(outB)
+
+	freshA, err := cpA.Run(boundA, dimsA)
+	if err != nil {
+		t.Fatalf("fresh run A: %v", err)
+	}
+	freshB, err := cpA.Run(boundB, dimsB)
+	if err != nil {
+		t.Fatalf("fresh run B: %v", err)
+	}
+	if err := tensor.IdenticalBits(freshA, keepA); err != nil {
+		t.Errorf("run A output corrupted by reuse: %v", err)
+	}
+	if err := tensor.IdenticalBits(freshB, keepB); err != nil {
+		t.Errorf("reused context produced different bits for run B: %v", err)
+	}
+
+	// Re-running A on the same context must also reproduce A exactly.
+	outA2, err := cpA.RunPooled(rc, boundA, dimsA)
+	if err != nil {
+		t.Fatalf("run A again: %v", err)
+	}
+	if err := tensor.IdenticalBits(freshA, outA2); err != nil {
+		t.Errorf("warm re-run of A differs: %v", err)
+	}
+}
+
+// cloneForTest deep-copies a context-borrowed output so it can be compared
+// after the context is reused.
+func cloneForTest(src *tensor.COO) *tensor.COO {
+	out := tensor.NewCOO(src.Name, src.Dims...)
+	for _, p := range src.Pts {
+		out.Pts = append(out.Pts, tensor.Point{Crd: append([]int64(nil), p.Crd...), Val: p.Val})
+	}
+	return out
+}

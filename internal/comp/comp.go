@@ -25,6 +25,7 @@ package comp
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"sam/internal/bind"
@@ -59,8 +60,10 @@ type writerRec struct {
 	slot int // input stream slot
 }
 
-// Program is a graph lowered to closures: immutable after Compile and safe
-// for concurrent Run calls (every run allocates its own stream buffers).
+// Program is a graph lowered to closures: its structure is immutable after
+// Compile and it is safe for concurrent Run calls — each run checks a
+// reusable RunCtx out of the program's context pool (or the caller holds
+// one explicitly via NewCtx/RunPooled).
 type Program struct {
 	g     *graph.Graph
 	steps []step
@@ -69,11 +72,28 @@ type Program struct {
 	crdWr  map[int]writerRec // output level -> coordinate writer
 	valsWr *writerRec
 
+	// plan is the lane-parallel execution plan, nil for sequential graphs
+	// (see lanes.go).
+	plan *execPlan
+
+	// perm maps output dimension -> graph iteration-order dimension, the
+	// permute from the scheduled loop order to the declared left-hand-side
+	// order; idPerm marks the identity (no output sort needed). permErr is
+	// surfaced at assembly time to keep failure parity with the other
+	// engines.
+	perm    []int
+	idPerm  bool
+	permErr error
+
 	// hints holds per-slot stream-length high-water marks from earlier runs,
 	// so repeated runs (the serving pattern) preallocate their buffers and
 	// skip append growth. Raised monotonically via compare-and-swap; a
 	// stale read only costs one regrowth.
 	hints []atomic.Int64
+
+	// pool recycles RunCtxs across Run calls; a warm context makes the run
+	// core allocation-free.
+	pool sync.Pool
 }
 
 // Check reports whether the compiled engine can lower the graph. Only the
@@ -124,26 +144,67 @@ func Compile(g *graph.Graph) (*Program, error) {
 	}
 
 	c := &lowerer{p: p, outSlot: outSlot, inSlot: inSlot}
+	var infos []stepInfo
 	for _, n := range order {
+		c.curIns, c.curOuts = nil, nil
+		before := len(p.steps)
 		if err := c.lower(n); err != nil {
 			return nil, err
+		}
+		// Every lowered block contributes at most one step; writers only
+		// record their input slot.
+		if len(p.steps) > before {
+			infos = append(infos, stepInfo{node: n, step: p.steps[before], ins: c.curIns, outs: c.curOuts})
 		}
 	}
 	if p.valsWr == nil {
 		return nil, fmt.Errorf("comp: graph %q has no value writer", g.Name)
 	}
 	p.hints = make([]atomic.Int64, p.nSlot)
+	p.plan = buildPlan(p.nSlot, infos, p.crdWr, p.valsWr)
+
+	// Precompute the output permutation once; a missing variable surfaces
+	// at assembly time, after stream validation, like the other engines.
+	nOut := len(g.OutputVars)
+	p.perm = make([]int, nOut)
+	p.idPerm = true
+	for i, v := range g.LHSVars {
+		found := false
+		for j, u := range g.OutputVars {
+			if u == v {
+				p.perm[i] = j
+				found = true
+			}
+		}
+		if !found {
+			p.permErr = fmt.Errorf("comp: output variable %q missing from graph metadata", v)
+			break
+		}
+		if p.perm[i] != i {
+			p.idPerm = false
+		}
+	}
 	return p, nil
 }
 
 // Graph returns the lowered graph.
 func (p *Program) Graph() *graph.Graph { return p.g }
 
-// lowerer carries the per-compile wiring state.
+// Parallel reports whether the program compiled to a lane-parallel plan:
+// Run will execute its fork region on per-lane goroutines. Sequential
+// programs (Par <= 1, or shapes the lane planner rejects) return false.
+func (p *Program) Parallel() bool { return p.plan != nil }
+
+// lowerer carries the per-compile wiring state. curIns/curOuts accumulate
+// the slots resolved while lowering the current node, in call order, so
+// Compile can record each step's dataflow for the lane planner; curOuts
+// keeps -1 entries so a Parallelize step's outs index its lane numbers.
 type lowerer struct {
 	p       *Program
 	outSlot map[portKey]int
 	inSlot  map[portKey]int
+	curIns  []int
+	curOuts []int
 }
 
 // in resolves the stream slot feeding an input port.
@@ -152,6 +213,7 @@ func (c *lowerer) in(n *graph.Node, port string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("comp: node %q input port %q unconnected", n.Label, port)
 	}
+	c.curIns = append(c.curIns, s)
 	return s, nil
 }
 
@@ -169,10 +231,12 @@ func (c *lowerer) ins(n *graph.Node, prefix string, count int) ([]int, error) {
 
 // out resolves an output port's slot; undriven ports discard.
 func (c *lowerer) out(n *graph.Node, port string) int {
-	if s, ok := c.outSlot[portKey{n.ID, port}]; ok {
-		return s
+	s := -1
+	if t, ok := c.outSlot[portKey{n.ID, port}]; ok {
+		s = t
 	}
-	return -1
+	c.curOuts = append(c.curOuts, s)
+	return s
 }
 
 // outs resolves a numbered output port family.
@@ -187,12 +251,16 @@ func (c *lowerer) outs(n *graph.Node, prefix string, count int) []int {
 // add appends one lowered closure.
 func (c *lowerer) add(s step) { c.p.steps = append(c.p.steps, s) }
 
-// exec is the state of one run: stream buffers indexed by slot, plus the
-// bound operand storage and output dimensions.
+// exec is the view one region of a run executes against: the run's stream
+// buffers indexed by slot, the bound operand storage and output dimensions,
+// and a private arena for cursor/scratch checkouts. Lane goroutines hold
+// distinct exec views sharing one stream table — they write disjoint slots,
+// so the element writes never race — with per-lane arenas.
 type exec struct {
 	streams []token.Stream
 	bound   map[string]*fiber.Tensor
 	dims    []int
+	a       *arena
 }
 
 // push appends a token to a stream buffer; slot -1 discards.
@@ -202,17 +270,11 @@ func (x *exec) push(slot int, t token.Tok) {
 	}
 }
 
-// cur opens a read cursor over a stream buffer.
-func (x *exec) cur(slot int) *cursor { return &cursor{s: x.streams[slot]} }
+// cur opens a read cursor over a stream buffer, checked out of the arena.
+func (x *exec) cur(slot int) *cursor { return x.a.cursor(x.streams[slot]) }
 
 // curs opens cursors over a slot family.
-func (x *exec) curs(slots []int) []*cursor {
-	cs := make([]*cursor, len(slots))
-	for i, s := range slots {
-		cs[i] = x.cur(s)
-	}
-	return cs
-}
+func (x *exec) curs(slots []int) []*cursor { return x.a.cursors(x, slots) }
 
 // level fetches a bound operand's storage level.
 func (x *exec) level(label, operand string, lvl int) fiber.Level {
@@ -255,40 +317,6 @@ func (c *cursor) next() token.Tok {
 	return t
 }
 
-// Run executes the program against one operand binding and assembles the
-// output tensor. bound and dims come from the graph's bind.Plan (sim owns
-// that split); RunGraph is the one-shot convenience.
-func (p *Program) Run(bound map[string]*fiber.Tensor, dims []int) (out *tensor.COO, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			v, ok := r.(violation)
-			if !ok {
-				panic(r)
-			}
-			out, err = nil, v.err
-		}
-	}()
-	x := &exec{streams: make([]token.Stream, p.nSlot), bound: bound, dims: dims}
-	for i := range x.streams {
-		if n := p.hints[i].Load(); n > 0 {
-			x.streams[i] = make(token.Stream, 0, n)
-		}
-	}
-	for _, st := range p.steps {
-		st(x)
-	}
-	for i := range x.streams {
-		n := int64(len(x.streams[i]))
-		for {
-			cur := p.hints[i].Load()
-			if n <= cur || p.hints[i].CompareAndSwap(cur, n) {
-				break
-			}
-		}
-	}
-	return p.assemble(x)
-}
-
 // RunGraph compiles and runs a graph in one shot.
 func RunGraph(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error) {
 	p, err := Compile(g)
@@ -304,76 +332,6 @@ func RunGraph(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error
 		return nil, err
 	}
 	return p.Run(bound, dims)
-}
-
-// assemble materializes the output tensor from the writer streams, exactly
-// as the other engines do: compressed levels from the coordinate streams'
-// stop structure, values in stream order, empty-level reconciliation for
-// optimized graphs, validation, and the permute to the declared
-// left-hand-side order.
-func (p *Program) assemble(x *exec) (*tensor.COO, error) {
-	g := p.g
-	order := len(g.OutputVars)
-	valRec := x.streams[p.valsWr.slot]
-	if err := valRec.Validate(order); err != nil {
-		return nil, fmt.Errorf("comp: writer %q stream malformed: %w", p.valsWr.node.Label, err)
-	}
-	ft := &fiber.Tensor{Name: g.OutputTensor, Dims: x.dims}
-	for _, t := range valRec {
-		if t.IsVal() {
-			ft.Vals = append(ft.Vals, t.V)
-		} else if t.IsEmpty() {
-			ft.Vals = append(ft.Vals, 0)
-		}
-	}
-	for lvl := 0; lvl < order; lvl++ {
-		w, ok := p.crdWr[lvl]
-		if !ok {
-			return nil, fmt.Errorf("comp: no writer produced output level %d", lvl)
-		}
-		rec := x.streams[w.slot]
-		if err := rec.Validate(lvl + 1); err != nil {
-			return nil, fmt.Errorf("comp: writer %q stream malformed: %w", w.node.Label, err)
-		}
-		seg := []int32{0}
-		var crd []int32
-		for _, t := range rec {
-			switch t.Kind {
-			case token.Val:
-				crd = append(crd, int32(t.N))
-			case token.Stop:
-				seg = append(seg, int32(len(crd)))
-			}
-		}
-		if len(crd) == 0 && lvl > 0 {
-			// Empty-result artifact: no parent coordinates, so no fibers.
-			seg = []int32{0}
-		}
-		ft.Levels = append(ft.Levels, &fiber.CompressedLevel{N: x.dims[lvl], Seg: seg, Crd: crd})
-	}
-	// Optimized graphs bypass coordinate-mode droppers; rebuild the fiber
-	// count of all-empty levels from the parent, as the other engines do.
-	if g.OptLevel > 0 {
-		ft.NormalizeEmptyLevels()
-	}
-	if err := ft.Validate(); err != nil {
-		return nil, fmt.Errorf("comp: assembled output invalid: %w", err)
-	}
-	out := tensor.FromFiber(ft)
-	perm := make([]int, order)
-	for i, v := range g.LHSVars {
-		found := false
-		for j, u := range g.OutputVars {
-			if u == v {
-				perm[i] = j
-				found = true
-			}
-		}
-		if !found {
-			return nil, fmt.Errorf("comp: output variable %q missing from graph metadata", v)
-		}
-	}
-	return out.Permute(g.OutputTensor, perm)
 }
 
 // topoOrder sorts nodes so producers precede consumers.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"sam/internal/bind"
+	"sam/internal/comp"
 	"sam/internal/custard"
 	"sam/internal/fiber"
 	"sam/internal/lang"
@@ -90,13 +92,45 @@ func runDifferential(t *testing.T, name, expr string, formats lang.Formats, sche
 			if err := tensor.IdenticalBits(ref.Output, got.Output); err != nil {
 				t.Errorf("%s par%d O%d: comp output differs from event: %v", name, par, opt, err)
 			}
+			// Goroutine-vs-merged: the lane-goroutine executor and the
+			// merged sequential loop are two execution strategies for one
+			// lowered program; their outputs must be bit-identical to each
+			// other and to the event engine.
+			cp, err := comp.Compile(g)
+			if err != nil {
+				t.Errorf("%s par%d O%d: comp.Compile: %v", name, par, opt, err)
+				continue
+			}
+			bound, err := bind.Operands(g, inputs)
+			if err != nil {
+				t.Fatalf("%s par%d O%d: bind: %v", name, par, opt, err)
+			}
+			dims, err := bind.OutputDims(g, inputs)
+			if err != nil {
+				t.Fatalf("%s par%d O%d: output dims: %v", name, par, opt, err)
+			}
+			laneOut, errLane := cp.Run(bound, dims)
+			mergedOut, errMerged := cp.RunMerged(bound, dims)
+			if (errLane == nil) != (errMerged == nil) {
+				t.Errorf("%s par%d O%d: lane/merged failure parity broken: lane err=%v, merged err=%v", name, par, opt, errLane, errMerged)
+				continue
+			}
+			if errLane != nil {
+				continue
+			}
+			if err := tensor.IdenticalBits(mergedOut, laneOut); err != nil {
+				t.Errorf("%s par%d O%d: goroutine execution differs from merged loop: %v", name, par, opt, err)
+			}
+			if err := tensor.IdenticalBits(ref.Output, laneOut); err != nil {
+				t.Errorf("%s par%d O%d: goroutine execution differs from event: %v", name, par, opt, err)
+			}
 		}
 	}
 }
 
 // TestCompDifferentialKernels is the fixed half of the battery: every paper
 // kernel plus gallop, locator, format and deep-reduction shapes, across
-// Opt ∈ {0, 1} and Par ∈ {1, 4} (plus 2 for joiner coverage).
+// Opt ∈ {0, 1} and Par ∈ {1, 2, 4, 8}.
 func TestCompDifferentialKernels(t *testing.T) {
 	csr2 := lang.Formats{"B": lang.CSR(2)}
 	dense1 := lang.Formats{"c": lang.Uniform(1, fiber.Dense)}
@@ -136,7 +170,7 @@ func TestCompDifferentialKernels(t *testing.T) {
 	for _, tc := range cases {
 		e := lang.MustParse(tc.expr)
 		inputs := randomInputs(rng, e, func(v string) int { return dims[v] })
-		runDifferential(t, tc.name, tc.expr, tc.formats, tc.sched, []int{1, 2, 4}, inputs)
+		runDifferential(t, tc.name, tc.expr, tc.formats, tc.sched, []int{1, 2, 4, 8}, inputs)
 	}
 }
 
@@ -169,7 +203,7 @@ func TestCompDifferentialEmptyResults(t *testing.T) {
 			tt.Append(float64(n+1), crd...)
 			inputs[a.Tensor] = tt
 		}
-		runDifferential(t, tc.name+"-empty", tc.expr, nil, lang.Schedule{LoopOrder: tc.order}, []int{1, 4}, inputs)
+		runDifferential(t, tc.name+"-empty", tc.expr, nil, lang.Schedule{LoopOrder: tc.order}, []int{1, 4, 8}, inputs)
 	}
 }
 
@@ -236,7 +270,7 @@ func FuzzCompDifferential(f *testing.F) {
 	f.Add(int64(23), uint8(4), uint8(0))
 	f.Add(int64(77), uint8(3), uint8(1))
 	f.Fuzz(func(t *testing.T, seed int64, lanes, optLevel uint8) {
-		par := int(lanes%4) + 1
+		par := 1 << (lanes % 4) // 1, 2, 4 or 8 lanes
 		name, expr, sched, inputs := randomCase(seed)
 		e := lang.MustParse(expr)
 		s := sched

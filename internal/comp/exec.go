@@ -1,0 +1,485 @@
+package comp
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"sam/internal/fiber"
+	"sam/internal/tensor"
+	"sam/internal/token"
+)
+
+// This file is the throughput-oriented execution layer of the compiled
+// engine: reusable run contexts with arena-backed scratch memory, a
+// per-Program sync.Pool of contexts so warm runs allocate nothing, and the
+// goroutine fork/join executor for lane-parallel plans (see lanes.go).
+
+// arena is per-run scratch memory checked out by lowered closures. All
+// checkout paths reuse slab capacity from earlier runs on the same context;
+// growth happens only while a context is cold. Each lane of a parallel plan
+// owns a private arena, so closures never share scratch across goroutines.
+type arena struct {
+	curs []cursor
+	curN int
+	ptrs []*cursor
+	ptrN int
+	toks []token.Tok
+	tokN int
+
+	// Reducer scratch: key sort buffers, accumulator maps (cleared at
+	// checkout, so a context poisoned by a failed run self-heals), and a
+	// free list of matrix-reduce rows.
+	keyA  []int64
+	keyB  []int64
+	accs  []map[int64]float64
+	accN  int
+	nests []map[int64]map[int64]float64
+	nestN int
+	rows  []map[int64]float64
+}
+
+// reset returns every checkout to the arena without releasing capacity.
+func (a *arena) reset() {
+	a.curN, a.ptrN, a.tokN, a.accN, a.nestN = 0, 0, 0, 0, 0
+}
+
+// cursor checks out one stream cursor. Growing the slab moves earlier
+// cursors to a new backing array; pointers handed out before the move stay
+// valid (they keep the old backing alive) and the stale copies in the new
+// backing are never read, because every checkout reinitializes its slot.
+func (a *arena) cursor(s token.Stream) *cursor {
+	if a.curN == len(a.curs) {
+		a.curs = append(a.curs, cursor{})
+	}
+	c := &a.curs[a.curN]
+	a.curN++
+	c.s, c.i = s, 0
+	return c
+}
+
+// cursors checks out a cursor family over stream slots.
+func (a *arena) cursors(x *exec, slots []int) []*cursor {
+	need := a.ptrN + len(slots)
+	if need > len(a.ptrs) {
+		a.ptrs = append(a.ptrs, make([]*cursor, need-len(a.ptrs))...)
+	}
+	out := a.ptrs[a.ptrN:need:need]
+	a.ptrN = need
+	for i, s := range slots {
+		out[i] = a.cursor(x.streams[s])
+	}
+	return out
+}
+
+// tokens checks out a token scratch slice; contents are unspecified, the
+// caller initializes every element.
+func (a *arena) tokens(n int) []token.Tok {
+	need := a.tokN + n
+	if need > len(a.toks) {
+		a.toks = append(a.toks, make([]token.Tok, need-len(a.toks))...)
+	}
+	out := a.toks[a.tokN:need:need]
+	a.tokN = need
+	return out
+}
+
+// accMap checks out an empty accumulator map.
+func (a *arena) accMap() map[int64]float64 {
+	if a.accN == len(a.accs) {
+		a.accs = append(a.accs, map[int64]float64{})
+	}
+	m := a.accs[a.accN]
+	a.accN++
+	clear(m)
+	return m
+}
+
+// nestMap checks out an empty two-level accumulator, recycling any rows a
+// failed run left behind.
+func (a *arena) nestMap() map[int64]map[int64]float64 {
+	if a.nestN == len(a.nests) {
+		a.nests = append(a.nests, map[int64]map[int64]float64{})
+	}
+	m := a.nests[a.nestN]
+	a.nestN++
+	for k, row := range m {
+		clear(row)
+		a.rows = append(a.rows, row)
+		delete(m, k)
+	}
+	return m
+}
+
+// row checks out an empty matrix-reduce row from the free list.
+func (a *arena) row() map[int64]float64 {
+	if n := len(a.rows); n > 0 {
+		r := a.rows[n-1]
+		a.rows = a.rows[:n-1]
+		return r
+	}
+	return map[int64]float64{}
+}
+
+// RunCtx is the reusable state of one execution: the per-slot stream
+// buffers, per-lane exec views with private arenas, and the output-assembly
+// scratch. A context belongs to the Program that created it and must not be
+// used by two runs concurrently; Program.Run checks contexts out of an
+// internal sync.Pool, or callers hold one explicitly via NewCtx/RunPooled.
+type RunCtx struct {
+	p       *Program
+	streams []token.Stream
+
+	main      exec
+	mainArena arena
+	lane      []exec
+	laneArena []arena
+	laneErr   []any
+	wg        sync.WaitGroup
+
+	// Assembly scratch: the reused output fibertree, its levels, the
+	// coordinate scratch of the emit walk, and the flat point/coordinate
+	// slabs backing the borrowed output tensor.
+	ft   fiber.Tensor
+	lvls []*fiber.CompressedLevel
+	cur  []int64
+	slab []int64
+	pts  []tensor.Point
+	out  tensor.COO
+	dims []int
+}
+
+// NewCtx builds a fresh run context for the program, preallocating stream
+// buffers to the program's high-water capacity hints.
+func (p *Program) NewCtx() *RunCtx {
+	rc := &RunCtx{p: p, streams: make([]token.Stream, p.nSlot)}
+	for i := range rc.streams {
+		if n := p.hints[i].Load(); n > 0 {
+			rc.streams[i] = make(token.Stream, 0, n)
+		}
+	}
+	rc.main = exec{streams: rc.streams, a: &rc.mainArena}
+	if p.plan != nil {
+		ways := p.plan.ways
+		rc.lane = make([]exec, ways)
+		rc.laneArena = make([]arena, ways)
+		rc.laneErr = make([]any, ways)
+		for l := range rc.lane {
+			rc.lane[l] = exec{streams: rc.streams, a: &rc.laneArena[l]}
+		}
+	}
+	order := len(p.g.OutputVars)
+	rc.cur = make([]int64, order)
+	rc.lvls = make([]*fiber.CompressedLevel, order)
+	for i := range rc.lvls {
+		rc.lvls[i] = &fiber.CompressedLevel{}
+	}
+	return rc
+}
+
+// reset prepares the context for one run: stream buffers truncated (regrown
+// only if the program's capacity hints outgrew this context), arenas
+// rewound, and the operand binding installed on every exec view.
+func (rc *RunCtx) reset(bound map[string]*fiber.Tensor, dims []int) {
+	p := rc.p
+	for i := range rc.streams {
+		if n := p.hints[i].Load(); int64(cap(rc.streams[i])) < n {
+			rc.streams[i] = make(token.Stream, 0, n)
+		} else {
+			rc.streams[i] = rc.streams[i][:0]
+		}
+	}
+	rc.mainArena.reset()
+	rc.main.bound, rc.main.dims = bound, dims
+	for l := range rc.lane {
+		rc.laneArena[l].reset()
+		rc.lane[l].bound, rc.lane[l].dims = bound, dims
+		rc.laneErr[l] = nil
+	}
+}
+
+// getCtx checks a context out of the program's pool.
+func (p *Program) getCtx() *RunCtx {
+	if rc, ok := p.pool.Get().(*RunCtx); ok {
+		return rc
+	}
+	return p.NewCtx()
+}
+
+// Run executes the program against one operand binding and assembles the
+// output tensor. The context comes from the program's pool, so warm runs
+// reuse every buffer of an earlier run; the returned tensor is cloned out of
+// the context (the only allocations on the warm path). bound and dims come
+// from the graph's bind.Plan (sim owns that split); RunGraph is the one-shot
+// convenience.
+func (p *Program) Run(bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, error) {
+	rc := p.getCtx()
+	out, err := p.runCtx(rc, bound, dims, false)
+	if err != nil {
+		p.pool.Put(rc)
+		return nil, err
+	}
+	out = cloneCOO(out)
+	p.pool.Put(rc)
+	return out, nil
+}
+
+// RunMerged executes the program with lane regions forced onto the calling
+// goroutine as one merged sequential loop, regardless of the compiled plan.
+// It is the differential oracle for the goroutine executor: outputs must be
+// bit-identical to Run's.
+func (p *Program) RunMerged(bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, error) {
+	rc := p.getCtx()
+	out, err := p.runCtx(rc, bound, dims, true)
+	if err != nil {
+		p.pool.Put(rc)
+		return nil, err
+	}
+	out = cloneCOO(out)
+	p.pool.Put(rc)
+	return out, nil
+}
+
+// RunPooled executes the program on a caller-held context and returns the
+// assembled output borrowed from the context: the tensor and its points are
+// valid only until the next run on rc. A warm RunPooled call performs zero
+// heap allocations; this is the serve hot path and the alloc-gate target.
+func (p *Program) RunPooled(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, error) {
+	if rc.p != p {
+		return nil, fmt.Errorf("comp: run context belongs to a different program")
+	}
+	return p.runCtx(rc, bound, dims, false)
+}
+
+// runCtx is the shared run core: reset, execute (parallel or merged),
+// raise capacity hints, assemble.
+func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int, merged bool) (out *tensor.COO, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, ok := r.(violation)
+			if !ok {
+				panic(r)
+			}
+			out, err = nil, v.err
+		}
+	}()
+	rc.reset(bound, dims)
+	if p.plan != nil && !merged {
+		p.runLanes(rc)
+	} else {
+		for _, st := range p.steps {
+			st(&rc.main)
+		}
+	}
+	for i := range rc.streams {
+		n := int64(len(rc.streams[i]))
+		for {
+			cur := p.hints[i].Load()
+			if n <= cur || p.hints[i].CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	return p.assemble(rc)
+}
+
+// runLanes executes a compiled lane plan: the pre region on the calling
+// goroutine, one goroutine per lane over the lane's closure chain, a
+// WaitGroup fork barrier, then the post region (serializers, lane reducers,
+// writers) on the calling goroutine. Lanes write disjoint stream slots, so
+// the only synchronization needed is the barrier's happens-before edge; a
+// panic inside a lane is captured and re-raised on the calling goroutine
+// after every lane has parked.
+func (p *Program) runLanes(rc *RunCtx) {
+	plan := p.plan
+	for _, st := range plan.pre {
+		st(&rc.main)
+	}
+	for l := range plan.lanes {
+		if len(plan.lanes[l]) == 0 {
+			continue
+		}
+		rc.wg.Add(1)
+		go func(l int) {
+			defer rc.wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					rc.laneErr[l] = r
+				}
+			}()
+			x := &rc.lane[l]
+			for _, st := range plan.lanes[l] {
+				st(x)
+			}
+		}(l)
+	}
+	rc.wg.Wait()
+	for l := range rc.laneErr {
+		if r := rc.laneErr[l]; r != nil {
+			panic(r)
+		}
+	}
+	for _, st := range plan.post {
+		st(&rc.main)
+	}
+}
+
+// assemble materializes the output tensor from the writer streams into the
+// context's reusable buffers, exactly as the other engines do: compressed
+// levels from the coordinate streams' stop structure, values in stream
+// order, empty-level reconciliation for optimized graphs, validation, and
+// the permute to the declared left-hand-side order (skipping the sort when
+// the permutation is the identity, where the fibertree walk is already
+// lexicographic).
+func (p *Program) assemble(rc *RunCtx) (*tensor.COO, error) {
+	g := p.g
+	x := &rc.main
+	order := len(g.OutputVars)
+	valRec := x.streams[p.valsWr.slot]
+	if err := valRec.Validate(order); err != nil {
+		return nil, fmt.Errorf("comp: writer %q stream malformed: %w", p.valsWr.node.Label, err)
+	}
+	ft := &rc.ft
+	ft.Name = g.OutputTensor
+	ft.Dims = x.dims
+	ft.Vals = ft.Vals[:0]
+	for _, t := range valRec {
+		if t.IsVal() {
+			ft.Vals = append(ft.Vals, t.V)
+		} else if t.IsEmpty() {
+			ft.Vals = append(ft.Vals, 0)
+		}
+	}
+	ft.Levels = ft.Levels[:0]
+	for lvl := 0; lvl < order; lvl++ {
+		w, ok := p.crdWr[lvl]
+		if !ok {
+			return nil, fmt.Errorf("comp: no writer produced output level %d", lvl)
+		}
+		rec := x.streams[w.slot]
+		if err := rec.Validate(lvl + 1); err != nil {
+			return nil, fmt.Errorf("comp: writer %q stream malformed: %w", w.node.Label, err)
+		}
+		L := rc.lvls[lvl]
+		L.N = x.dims[lvl]
+		L.Seg = append(L.Seg[:0], 0)
+		L.Crd = L.Crd[:0]
+		for _, t := range rec {
+			switch t.Kind {
+			case token.Val:
+				L.Crd = append(L.Crd, int32(t.N))
+			case token.Stop:
+				L.Seg = append(L.Seg, int32(len(L.Crd)))
+			}
+		}
+		if len(L.Crd) == 0 && lvl > 0 {
+			// Empty-result artifact: no parent coordinates, so no fibers.
+			L.Seg = L.Seg[:1]
+		}
+		ft.Levels = append(ft.Levels, L)
+	}
+	// Optimized graphs bypass coordinate-mode droppers; rebuild the fiber
+	// count of all-empty levels from the parent, as the other engines do.
+	if g.OptLevel > 0 {
+		ft.NormalizeEmptyLevels()
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("comp: assembled output invalid: %w", err)
+	}
+	if p.permErr != nil {
+		return nil, p.permErr
+	}
+	rc.pts = rc.pts[:0]
+	rc.slab = rc.slab[:0]
+	if order == 0 {
+		if len(ft.Vals) > 0 {
+			rc.pts = append(rc.pts, tensor.Point{Crd: []int64{}, Val: ft.Vals[0]})
+		}
+	} else {
+		rc.emit(0, 0)
+	}
+	if !p.idPerm {
+		slices.SortFunc(rc.pts, func(a, b tensor.Point) int {
+			for i := range a.Crd {
+				if a.Crd[i] != b.Crd[i] {
+					if a.Crd[i] < b.Crd[i] {
+						return -1
+					}
+					return 1
+				}
+			}
+			return 0
+		})
+	}
+	rc.dims = rc.dims[:0]
+	for _, pd := range p.perm {
+		rc.dims = append(rc.dims, x.dims[pd])
+	}
+	rc.out.Name = g.OutputTensor
+	rc.out.Dims = rc.dims
+	if order == 0 {
+		rc.out.Dims = nil
+	}
+	rc.out.Pts = rc.pts
+	if len(rc.pts) == 0 {
+		rc.out.Pts = nil
+	}
+	return &rc.out, nil
+}
+
+// emit recursively walks the assembled fibertree, appending one output
+// point per stored leaf. Coordinates are emitted already permuted to the
+// left-hand-side order into a shared flat slab; every tuple of a valid
+// fibertree is distinct, so no duplicate merging is needed and explicit
+// zeros are kept, exactly like tensor.FromFiber followed by Permute.
+func (rc *RunCtx) emit(lvl, ref int) {
+	L := rc.lvls[lvl]
+	leaf := lvl == len(rc.cur)-1
+	m := L.FiberLen(ref)
+	for i := 0; i < m; i++ {
+		rc.cur[lvl] = L.Coord(ref, i)
+		child := L.ChildRef(ref, i)
+		if !leaf {
+			rc.emit(lvl+1, int(child))
+			continue
+		}
+		base := len(rc.slab)
+		for _, pd := range rc.p.perm {
+			rc.slab = append(rc.slab, rc.cur[pd])
+		}
+		rc.pts = append(rc.pts, tensor.Point{
+			Crd: rc.slab[base:len(rc.slab):len(rc.slab)],
+			Val: rc.ft.Vals[child],
+		})
+	}
+}
+
+// cloneCOO copies a context-borrowed output into caller-owned memory: one
+// point slice plus one flat coordinate slab, preserving nil-ness of Dims,
+// Pts and per-point Crd so the JSON encoding matches the other engines'.
+func cloneCOO(src *tensor.COO) *tensor.COO {
+	out := &tensor.COO{Name: src.Name}
+	if src.Dims != nil {
+		out.Dims = make([]int, len(src.Dims))
+		copy(out.Dims, src.Dims)
+	}
+	if src.Pts == nil {
+		return out
+	}
+	total := 0
+	for _, p := range src.Pts {
+		total += len(p.Crd)
+	}
+	slab := make([]int64, 0, total)
+	out.Pts = make([]tensor.Point, len(src.Pts))
+	for i, p := range src.Pts {
+		out.Pts[i].Val = p.Val
+		if p.Crd == nil {
+			continue
+		}
+		base := len(slab)
+		slab = append(slab, p.Crd...)
+		out.Pts[i].Crd = slab[base:len(slab):len(slab)]
+	}
+	return out
+}

@@ -39,11 +39,6 @@ func (c *lowerer) lowerGallop(n *graph.Node) error {
 		la := x.level(name, opA, lvA)
 		lb := x.level(name, opB, lvB)
 		ca, cb := x.cur(inA), x.cur(inB)
-		emitAll := func(t token.Tok) {
-			x.push(outCrd, t)
-			x.push(outRefA, t)
-			x.push(outRefB, t)
-		}
 		sep := false
 		for {
 			ta := ca.next()
@@ -51,7 +46,9 @@ func (c *lowerer) lowerGallop(n *graph.Node) error {
 			switch {
 			case (ta.IsVal() || ta.IsEmpty()) && (tb.IsVal() || tb.IsEmpty()):
 				if sep {
-					emitAll(token.S(0))
+					x.push(outCrd, token.S(0))
+					x.push(outRefA, token.S(0))
+					x.push(outRefB, token.S(0))
 					sep = false
 				}
 				if ta.IsEmpty() || tb.IsEmpty() {
@@ -84,12 +81,19 @@ func (c *lowerer) lowerGallop(n *graph.Node) error {
 					fail("%s: misaligned stops %v vs %v", name, ta, tb)
 				}
 				sep = false
-				emitAll(token.S(ta.StopLevel() + 1))
+				s := token.S(ta.StopLevel() + 1)
+				x.push(outCrd, s)
+				x.push(outRefA, s)
+				x.push(outRefB, s)
 			case ta.IsDone() && tb.IsDone():
 				if sep {
-					emitAll(token.S(0))
+					x.push(outCrd, token.S(0))
+					x.push(outRefA, token.S(0))
+					x.push(outRefB, token.S(0))
 				}
-				emitAll(token.D())
+				x.push(outCrd, token.D())
+				x.push(outRefA, token.D())
+				x.push(outRefB, token.D())
 				return
 			default:
 				fail("%s: misaligned reference inputs %v vs %v", name, ta, tb)

@@ -200,18 +200,9 @@ func (c *lowerer) lowerIntersect(n *graph.Node) error {
 	c.add(func(x *exec) {
 		m := len(inCrd)
 		cc, cr := x.curs(inCrd), x.curs(inRef)
-		heads := make([]token.Tok, m)
+		heads := x.a.tokens(m)
 		for i := range heads {
 			heads[i] = cc[i].next()
-		}
-		advance := func(i int) {
-			cr[i].next() // refs move in lockstep
-			heads[i] = cc[i].next()
-		}
-		advanceKeep := func(i int) token.Tok {
-			rt := cr[i].next()
-			heads[i] = cc[i].next()
-			return rt
 		}
 		for {
 			// Two-way fast path: while both heads are coordinates, run the
@@ -277,19 +268,23 @@ func (c *lowerer) lowerIntersect(n *graph.Node) error {
 				if all {
 					x.push(outCrd, token.C(minC))
 					for i := range heads {
-						x.push(outRef[i], advanceKeep(i))
+						rt := cr[i].next()
+						heads[i] = cc[i].next()
+						x.push(outRef[i], rt)
 					}
 					continue
 				}
 				for i, t := range heads {
 					if t.IsVal() && t.N == minC {
-						advance(i)
+						cr[i].next() // refs move in lockstep
+						heads[i] = cc[i].next()
 					}
 				}
 			case nVal == 0:
 				x.push(outCrd, token.S(stopLvl))
 				for i := range heads {
-					rt := advanceKeep(i)
+					rt := cr[i].next()
+					heads[i] = cc[i].next()
 					if !rt.IsStop() {
 						fail("%s: ref misaligned at stop: %v", name, rt)
 					}
@@ -298,7 +293,8 @@ func (c *lowerer) lowerIntersect(n *graph.Node) error {
 			default:
 				for i, t := range heads {
 					if t.IsVal() {
-						advance(i)
+						cr[i].next() // refs move in lockstep
+						heads[i] = cc[i].next()
 					}
 				}
 			}
@@ -323,7 +319,7 @@ func (c *lowerer) lowerUnion(n *graph.Node) error {
 	c.add(func(x *exec) {
 		m := len(inCrd)
 		cc, cr := x.curs(inCrd), x.curs(inRef)
-		heads := make([]token.Tok, m)
+		heads := x.a.tokens(m)
 		for i := range heads {
 			heads[i] = cc[i].next()
 		}
@@ -633,17 +629,14 @@ func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
 		emitted := false
 		everEmitted := false
 		held := -1
-		flushHeld := func() {
-			if held >= 0 && everEmitted {
-				x.push(outInner, token.S(held))
-			}
-			held = -1
-		}
 		for {
 			t := ci.next()
 			switch t.Kind {
 			case token.Val:
-				flushHeld()
+				if held >= 0 && everEmitted { // flush the held stop
+					x.push(outInner, token.S(held))
+				}
+				held = -1
 				if !emitted {
 					if !havePending {
 						o := co.next()
@@ -696,7 +689,10 @@ func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
 				emitted = false
 				havePending = false
 			case token.Done:
-				flushHeld()
+				if held >= 0 && everEmitted { // flush the held stop
+					x.push(outInner, token.S(held))
+				}
+				held = -1
 				if o := co.next(); !o.IsDone() {
 					fail("%s: outer stream not done: %v", name, o)
 				}

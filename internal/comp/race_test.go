@@ -1,0 +1,53 @@
+package comp_test
+
+import (
+	"sync"
+	"testing"
+
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// TestConcurrentRunSharedPool runs one compiled lane-parallel program from
+// many goroutines at once, all drawing run contexts from the program's one
+// sync.Pool while each run forks its own lane goroutines. Under -race this
+// is the comp-level data-race gate for pooled + lane execution; it also
+// checks every concurrent result stays bit-identical to a lone run.
+func TestConcurrentRunSharedPool(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		sched := lang.Schedule{LoopOrder: []string{"i", "k", "j"}, Par: par}
+		cp, bound, dims := compileCase(t, "X(i,j) = B(i,k) * C(k,j)", sched, 29)
+		if got, want := cp.Parallel(), par > 1; got != want {
+			t.Fatalf("par%d: Parallel() = %v, want %v", par, got, want)
+		}
+		want, err := cp.Run(bound, dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const goroutines, iters = 8, 6
+		errs := make([]error, goroutines)
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for k := 0; k < iters; k++ {
+					got, err := cp.Run(bound, dims)
+					if err == nil {
+						err = tensor.IdenticalBits(want, got)
+					}
+					if err != nil {
+						errs[i] = err
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("par%d goroutine %d: %v", par, i, err)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package comp
 
 import (
+	"slices"
 	"sort"
 
 	"sam/internal/graph"
@@ -70,21 +71,7 @@ func (c *lowerer) lowerVectorReduce(n *graph.Node) error {
 	name := n.Label
 	c.add(func(x *exec) {
 		cc, cv := x.cur(inCrd), x.cur(inVal)
-		acc := map[int64]float64{}
-		flush := func(stop int) {
-			keys := make([]int64, 0, len(acc))
-			for k := range acc {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-			for _, k := range keys {
-				x.push(outCrd, token.C(k))
-				x.push(outVal, token.V(acc[k]))
-			}
-			x.push(outCrd, token.S(stop))
-			x.push(outVal, token.S(stop))
-			acc = map[int64]float64{}
-		}
+		acc := x.a.accMap()
 		for {
 			ct := cc.next()
 			v := cv.next()
@@ -110,11 +97,11 @@ func (c *lowerer) lowerVectorReduce(n *graph.Node) error {
 					fail("%s: misaligned after orphan: %v vs %v", name, ct, v)
 				}
 				if ct.StopLevel() >= 1 {
-					flush(ct.StopLevel() - 1)
+					vecFlush(x, acc, outCrd, outVal, ct.StopLevel()-1)
 				}
 			case ct.IsStop() && v.IsStop() && ct.StopLevel() == v.StopLevel():
 				if ct.StopLevel() >= 1 {
-					flush(ct.StopLevel() - 1)
+					vecFlush(x, acc, outCrd, outVal, ct.StopLevel()-1)
 				}
 			case ct.IsDone() && v.IsDone():
 				x.push(outCrd, token.D())
@@ -126,6 +113,26 @@ func (c *lowerer) lowerVectorReduce(n *graph.Node) error {
 		}
 	})
 	return nil
+}
+
+// vecFlush emits one merged group of the vector reducer — unique sorted
+// coordinates with summed values, then the lowered stop — and empties the
+// accumulator for the next group. The key buffer lives in the run arena so
+// a warm flush allocates nothing.
+func vecFlush(x *exec, acc map[int64]float64, outCrd, outVal, stop int) {
+	keys := x.a.keyA[:0]
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	x.a.keyA = keys
+	slices.Sort(keys)
+	for _, k := range keys {
+		x.push(outCrd, token.C(k))
+		x.push(outVal, token.V(acc[k]))
+	}
+	x.push(outCrd, token.S(stop))
+	x.push(outVal, token.S(stop))
+	clear(acc)
 }
 
 // lowerMatrixReduce accumulates a two-level sub-tensor.
@@ -146,36 +153,9 @@ func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
 	name := n.Label
 	c.add(func(x *exec) {
 		co, ci, cv := x.cur(inOuter), x.cur(inInner), x.cur(inVal)
-		acc := map[int64]map[int64]float64{}
+		acc := x.a.nestMap()
 		var curOuter int64
 		haveOuter := false
-		flush := func(stop int) {
-			is := make([]int64, 0, len(acc))
-			for i := range acc {
-				is = append(is, i)
-			}
-			sort.Slice(is, func(a, b int) bool { return is[a] < is[b] })
-			for pos, i := range is {
-				if pos > 0 {
-					x.push(outInner, token.S(0))
-					x.push(outVal, token.S(0))
-				}
-				x.push(outOuter, token.C(i))
-				js := make([]int64, 0, len(acc[i]))
-				for j := range acc[i] {
-					js = append(js, j)
-				}
-				sort.Slice(js, func(a, b int) bool { return js[a] < js[b] })
-				for _, j := range js {
-					x.push(outInner, token.C(j))
-					x.push(outVal, token.V(acc[i][j]))
-				}
-			}
-			x.push(outOuter, token.S(stop-1))
-			x.push(outInner, token.S(stop))
-			x.push(outVal, token.S(stop))
-			acc = map[int64]map[int64]float64{}
-		}
 		for {
 			ct := ci.next()
 			v := cv.next()
@@ -191,7 +171,7 @@ func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
 				}
 				row := acc[curOuter]
 				if row == nil {
-					row = map[int64]float64{}
+					row = x.a.row()
 					acc[curOuter] = row
 				}
 				if v.IsVal() {
@@ -241,7 +221,7 @@ func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
 				}
 				haveOuter = false
 				if m >= 2 {
-					flush(m - 1)
+					matFlush(x, acc, outOuter, outInner, outVal, m-1)
 				}
 			case ct.IsDone() && v.IsDone():
 				if o := co.next(); !o.IsDone() {
@@ -257,6 +237,48 @@ func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
 		}
 	})
 	return nil
+}
+
+// matFlush emits one merged group of the matrix reducer — rows in sorted
+// outer order, each row's inner coordinates sorted, with the lowered stops —
+// then recycles every row onto the arena's free list for the next group.
+func matFlush(x *exec, acc map[int64]map[int64]float64, outOuter, outInner, outVal, stop int) {
+	is := x.a.keyA[:0]
+	for i := range acc {
+		is = append(is, i)
+	}
+	x.a.keyA = is
+	slices.Sort(is)
+	for pos, i := range is {
+		if pos > 0 {
+			x.push(outInner, token.S(0))
+			x.push(outVal, token.S(0))
+		}
+		x.push(outOuter, token.C(i))
+		row := acc[i]
+		js := x.a.keyB[:0]
+		for j := range row {
+			js = append(js, j)
+		}
+		x.a.keyB = js
+		slices.Sort(js)
+		for _, j := range js {
+			x.push(outInner, token.C(j))
+			x.push(outVal, token.V(row[j]))
+		}
+	}
+	x.push(outOuter, token.S(stop-1))
+	x.push(outInner, token.S(stop))
+	x.push(outVal, token.S(stop))
+	// Recycle rows in sorted-key order, not map order: deterministic free-
+	// list order keeps each reused row paired with same-sized groups across
+	// identical runs, so warm runs never regrow row buckets.
+	for _, i := range is {
+		row := acc[i]
+		clear(row)
+		x.a.rows = append(x.a.rows, row)
+		delete(acc, i)
+	}
 }
 
 // packKey packs a coordinate tuple into a map key.

@@ -1,0 +1,327 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sam/internal/bind"
+	"sam/internal/comp"
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/serve"
+	"sam/internal/tensor"
+)
+
+// ThroughputLanePoint is one kernel × lane-count comparison of the two
+// compiled-engine execution modes: the merged sequential schedule against
+// per-lane goroutine execution of the same program, with outputs proven
+// bit-identical. On a single-CPU host the goroutine mode cannot win
+// wall-clock — read Speedup against the recorded CPU count.
+type ThroughputLanePoint struct {
+	Kernel       string  `json:"kernel"`
+	Par          int     `json:"par"`
+	WallMSMerged float64 `json:"wall_ms_merged"`
+	WallMSLanes  float64 `json:"wall_ms_lanes"`
+	Speedup      float64 `json:"speedup"` // merged wall / lane wall
+	Identical    bool    `json:"outputs_identical"`
+}
+
+// ThroughputAllocPoint records the heap allocations of one warm pooled run:
+// the zero-alloc gate the CI alloc step enforces, measured the same way
+// (testing.AllocsPerRun over a warmed run context).
+type ThroughputAllocPoint struct {
+	Kernel       string  `json:"kernel"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+}
+
+// ThroughputServePoint is one client-count × micro-batch-size load point
+// against a live server with a warm program cache: completed jobs per
+// second and client-side latency percentiles.
+type ThroughputServePoint struct {
+	Clients    int     `json:"clients"`
+	BatchMax   int     `json:"batch_max"`
+	Requests   int     `json:"requests"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	P50MS      float64 `json:"latency_p50_ms"`
+	P99MS      float64 `json:"latency_p99_ms"`
+}
+
+// ThroughputResult bundles the three throughput studies for BENCH_PR6.json.
+// CPUs and GoMaxProcs record the host parallelism every number was measured
+// under: lane goroutines and batched serving are CPU-bound, so their curves
+// are only meaningful against the core budget.
+type ThroughputResult struct {
+	CPUs       int                    `json:"cpus"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Lanes      []ThroughputLanePoint  `json:"lanes"`
+	Allocs     []ThroughputAllocPoint `json:"allocs"`
+	Serve      []ThroughputServePoint `json:"serve"`
+}
+
+// ThroughputStudy measures the throughput-first execution paths added with
+// the pooled comp engine: (1) lane-goroutine vs merged execution wall-clock
+// per kernel and lane count, (2) warm pooled-run heap allocations, and
+// (3) served jobs/sec and latency percentiles across client concurrency and
+// micro-batch size, on a warm cache with the comp engine.
+func ThroughputStudy(seed int64, scale float64) (*ThroughputResult, error) {
+	out := &ThroughputResult{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	dims := map[string]int{
+		"i": int(60 * scale), "j": int(48 * scale), "k": int(32 * scale),
+	}
+	for v, d := range dims {
+		if d < 8 {
+			dims[v] = 8
+		}
+	}
+	compile := func(expr string, sched lang.Schedule, seed int64) (*comp.Program, map[string]*fiber.Tensor, []int, error) {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := lang.Parse(expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		g, err := custard.Compile(e, nil, sched)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cp, err := comp.Compile(g)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inputs := map[string]*tensor.COO{}
+		for _, a := range e.Accesses() {
+			if _, ok := inputs[a.Tensor]; ok {
+				continue
+			}
+			ds := make([]int, len(a.Idx))
+			total := 1
+			for i, v := range a.Idx {
+				ds[i] = dims[v]
+				total *= ds[i]
+			}
+			t := tensor.UniformRandom(a.Tensor, rng, total/6+1, ds...)
+			tensor.QuantizeInts(rng, 7, t)
+			inputs[a.Tensor] = t
+		}
+		bound, err := bind.Operands(g, inputs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		odims, err := bind.OutputDims(g, inputs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return cp, bound, odims, nil
+	}
+
+	// Phase 1: merged vs lane-goroutine wall-clock. Par=1 rows anchor the
+	// sequential baseline (the planner compiles no lane plan there).
+	laneKernels := []struct {
+		name  string
+		expr  string
+		order []string
+	}{
+		{"SpMV", "x(i) = B(i,j) * c(j)", nil},
+		{"SpM*SpM", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+	}
+	const reps = 5
+	for _, k := range laneKernels {
+		for _, par := range []int{1, 4, 8} {
+			sched := lang.Schedule{LoopOrder: k.order, Par: par}
+			cp, bound, odims, err := compile(k.expr, sched, seed)
+			if err != nil {
+				return nil, fmt.Errorf("throughput %s par%d: %w", k.name, par, err)
+			}
+			if want := par > 1; cp.Parallel() != want {
+				return nil, fmt.Errorf("throughput %s par%d: Parallel() = %v, want %v", k.name, par, cp.Parallel(), want)
+			}
+			time2 := func(run func() (*tensor.COO, error)) (*tensor.COO, float64, error) {
+				res, err := run() // warmup; grows pooled buffers
+				if err != nil {
+					return nil, 0, err
+				}
+				t0 := time.Now()
+				for r := 0; r < reps; r++ {
+					if res, err = run(); err != nil {
+						return nil, 0, err
+					}
+				}
+				return res, float64(time.Since(t0).Microseconds()) / 1000 / reps, nil
+			}
+			merged, wM, err := time2(func() (*tensor.COO, error) { return cp.RunMerged(bound, odims) })
+			if err != nil {
+				return nil, fmt.Errorf("throughput %s par%d merged: %w", k.name, par, err)
+			}
+			lanes, wL, err := time2(func() (*tensor.COO, error) { return cp.Run(bound, odims) })
+			if err != nil {
+				return nil, fmt.Errorf("throughput %s par%d lanes: %w", k.name, par, err)
+			}
+			if err := tensor.IdenticalBits(merged, lanes); err != nil {
+				return nil, fmt.Errorf("throughput %s par%d: lane output differs from merged: %w", k.name, par, err)
+			}
+			speedup := 0.0
+			if wL > 0 {
+				speedup = wM / wL
+			}
+			out.Lanes = append(out.Lanes, ThroughputLanePoint{
+				Kernel: k.name, Par: par,
+				WallMSMerged: wM, WallMSLanes: wL,
+				Speedup: speedup, Identical: true,
+			})
+		}
+	}
+
+	// Phase 2: warm pooled-run allocations, measured exactly like the CI
+	// alloc gate: warm a dedicated run context, then count heap allocations
+	// per RunPooled.
+	allocKernels := []struct {
+		name  string
+		expr  string
+		order []string
+	}{
+		{"SpMV", "x(i) = B(i,j) * c(j)", nil},
+		{"SpM*SpM", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+		{"SDDMM", "X(i,j) = B(i,j) * C(i,k) * D(j,k)", nil},
+	}
+	for _, k := range allocKernels {
+		cp, bound, odims, err := compile(k.expr, lang.Schedule{LoopOrder: k.order}, seed)
+		if err != nil {
+			return nil, fmt.Errorf("throughput alloc %s: %w", k.name, err)
+		}
+		rc := cp.NewCtx()
+		for i := 0; i < 3; i++ {
+			if _, err := cp.RunPooled(rc, bound, odims); err != nil {
+				return nil, fmt.Errorf("throughput alloc %s warmup: %w", k.name, err)
+			}
+		}
+		var runErr error
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := cp.RunPooled(rc, bound, odims); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("throughput alloc %s: %w", k.name, runErr)
+		}
+		out.Allocs = append(out.Allocs, ThroughputAllocPoint{Kernel: k.name, AllocsPerRun: allocs})
+	}
+
+	// Phase 3: served throughput under concurrent load. Every request asks
+	// for the comp engine, so the hot path is cached program + pooled run
+	// context; the micro-batch size sweeps how many queued jobs one worker
+	// drains into a single sim.RunBatchErrs call.
+	workload := serveWorkload(seed, scale)
+	for _, w := range workload {
+		w.req.Options = &serve.WireOptions{Engine: "comp"}
+	}
+	requests := 4 * len(workload)
+	for _, bm := range []int{1, 4} {
+		for _, clients := range []int{2, 8} {
+			pt, err := throughputServePoint(workload, clients, bm, requests)
+			if err != nil {
+				return nil, err
+			}
+			out.Serve = append(out.Serve, pt)
+		}
+	}
+	return out, nil
+}
+
+// throughputServePoint measures one load point: clients concurrent client
+// goroutines issue requests round-robin over the workload against a server
+// with micro-batch size batchMax, after one warmup pass fills the program
+// cache.
+func throughputServePoint(workload []struct {
+	name string
+	req  *serve.EvaluateRequest
+}, clients, batchMax, requests int) (ThroughputServePoint, error) {
+	ts, stop := startServer(serve.Config{Workers: 2, BatchMax: batchMax, QueueDepth: 4 * requests})
+	defer stop()
+	client := &http.Client{}
+	for _, w := range workload {
+		if _, err := post(client, ts.URL, w.req); err != nil {
+			return ThroughputServePoint{}, fmt.Errorf("throughput serve warmup %s: %w", w.name, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	lats := make([][]time.Duration, clients)
+	next := make(chan int)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				if _, err := post(client, ts.URL, workload[i%len(workload)].req); err != nil && errs[cl] == nil {
+					errs[cl] = err
+				}
+				lats[cl] = append(lats[cl], time.Since(t0))
+			}
+		}(cl)
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ThroughputServePoint{}, fmt.Errorf("throughput serve (clients=%d batch=%d): %w", clients, batchMax, err)
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		return float64(all[int(q*float64(len(all)-1))]) / float64(time.Millisecond)
+	}
+	return ThroughputServePoint{
+		Clients: clients, BatchMax: batchMax, Requests: requests,
+		JobsPerSec: float64(requests) / elapsed.Seconds(),
+		P50MS:      pct(0.50), P99MS: pct(0.99),
+	}, nil
+}
+
+// RenderThroughput prints the throughput study.
+func RenderThroughput(r *ThroughputResult) string {
+	header := []string{"Kernel", "Par", "Wall merged (ms)", "Wall lanes (ms)", "Speedup", "Bit-identical"}
+	var body [][]string
+	for _, p := range r.Lanes {
+		body = append(body, []string{
+			p.Kernel, fmt.Sprint(p.Par),
+			fmt.Sprintf("%.3f", p.WallMSMerged), fmt.Sprintf("%.3f", p.WallMSLanes),
+			fmt.Sprintf("%.2fx", p.Speedup), fmt.Sprint(p.Identical),
+		})
+	}
+	out := fmt.Sprintf("Throughput: lane-goroutine vs merged compiled execution (%d CPUs, GOMAXPROCS %d)\n",
+		r.CPUs, r.GoMaxProcs) + table(header, body)
+	header = []string{"Kernel", "Allocs/run (warm pooled)"}
+	body = nil
+	for _, p := range r.Allocs {
+		body = append(body, []string{p.Kernel, fmt.Sprintf("%.1f", p.AllocsPerRun)})
+	}
+	out += "\nThroughput: warm pooled-run heap allocations\n" + table(header, body)
+	header = []string{"Clients", "BatchMax", "Requests", "Jobs/s", "p50", "p99"}
+	body = nil
+	for _, p := range r.Serve {
+		body = append(body, []string{
+			fmt.Sprint(p.Clients), fmt.Sprint(p.BatchMax), fmt.Sprint(p.Requests),
+			fmt.Sprintf("%.1f", p.JobsPerSec),
+			fmt.Sprintf("%.1fms", p.P50MS), fmt.Sprintf("%.1fms", p.P99MS),
+		})
+	}
+	out += "\nThroughput: served jobs/sec vs client concurrency and micro-batch size (comp engine, warm cache)\n" + table(header, body)
+	return out
+}

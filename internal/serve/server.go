@@ -312,13 +312,16 @@ func (s *Server) runBatch(batch []*job) {
 			simJobs[i] = sim.Job{Name: j.id, Program: j.prep.prog, Inputs: j.prep.inputs}
 		}
 		opt.Workers = len(group)
-		results, err := sim.RunBatch(simJobs, opt)
+		results, errs, err := sim.RunBatchErrs(simJobs, opt)
 		for i, j := range group {
 			if results == nil || results[i] == nil {
-				// RunBatch reports the first failure; jobs whose result is
-				// missing share its message.
+				// Attribute each failed job its own error; one job's failure
+				// must not relabel its batchmates.
 				msg := "simulation failed"
-				if err != nil {
+				switch {
+				case errs != nil && errs[i] != nil:
+					msg = errs[i].Error()
+				case err != nil:
 					msg = err.Error()
 				}
 				s.finish(j, nil, msg)

@@ -51,9 +51,19 @@ func (j Job) label(i int) string {
 // pool size (0 means GOMAXPROCS). The first error in job order is returned;
 // results for failed jobs are nil.
 func RunBatch(jobs []Job, opt Options) ([]*Result, error) {
+	results, _, err := RunBatchErrs(jobs, opt)
+	return results, err
+}
+
+// RunBatchErrs is RunBatch with per-job error attribution: errs[i] holds
+// job i's failure (nil on success), so batch callers can report each
+// failure to its own requester instead of sharing the first one in job
+// order. The returned error is that first per-job error, matching RunBatch;
+// a batch-level failure (unknown engine) returns nil slices.
+func RunBatchErrs(jobs []Job, opt Options) ([]*Result, []error, error) {
 	eng, err := EngineFor(opt.Engine)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -104,8 +114,8 @@ func RunBatch(jobs []Job, opt Options) ([]*Result, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return results, errs, err
 		}
 	}
-	return results, nil
+	return results, errs, nil
 }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/tensor"
+)
+
+// TestRunBatchErrsPerJob checks batch error attribution and per-job engine
+// accounting under the comp engine: every failed job carries its own error,
+// every successful job records the engine that actually executed it — comp
+// for lowerable graphs, event for the bitvector fallback — and RunBatch
+// stays a first-error view of the same execution.
+func TestRunBatchErrsPerJob(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	spmv, err := custard.Compile(lang.MustParse("x(i) = B(i,j) * c(j)"), nil, lang.Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, err := custard.CompileBitvector(lang.MustParse("x(i) = b(i) * c(i)"), lang.Formats{
+		"b": lang.Uniform(1, fiber.Bitvector),
+		"c": lang.Uniform(1, fiber.Bitvector),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spmvIn := map[string]*tensor.COO{
+		"B": tensor.UniformRandom("B", rng, 120, 30, 30),
+		"c": tensor.UniformRandom("c", rng, 15, 30),
+	}
+	bvIn := map[string]*tensor.COO{
+		"b": tensor.UniformRandom("b", rng, 40, 200),
+		"c": tensor.UniformRandom("c", rng, 40, 200),
+	}
+	jobs := []Job{
+		{Name: "ok-comp", Graph: spmv, Inputs: spmvIn},
+		{Name: "bad-missing-input", Graph: spmv, Inputs: map[string]*tensor.COO{"B": spmvIn["B"]}},
+		{Name: "ok-fallback", Graph: bv, Inputs: bvIn},
+		{Name: "bad-nil-graph"},
+		{Name: "ok-comp-2", Graph: spmv, Inputs: spmvIn},
+	}
+	results, errs, first := RunBatchErrs(jobs, Options{Engine: EngineComp, Workers: 2})
+	if len(results) != len(jobs) || len(errs) != len(jobs) {
+		t.Fatalf("got %d results / %d errs, want %d each", len(results), len(errs), len(jobs))
+	}
+	if first == nil || errs[1] == nil || first.Error() != errs[1].Error() {
+		t.Errorf("first error = %v, want job 1's error %v", first, errs[1])
+	}
+	wantEngine := map[int]EngineKind{0: EngineComp, 2: EngineEvent, 4: EngineComp}
+	for i := range jobs {
+		eng, wantOK := wantEngine[i]
+		if wantOK {
+			if errs[i] != nil || results[i] == nil {
+				t.Errorf("job %d (%s): err = %v, result = %v, want success", i, jobs[i].Name, errs[i], results[i])
+				continue
+			}
+			if results[i].Engine != eng {
+				t.Errorf("job %d (%s): Result.Engine = %q, want %q", i, jobs[i].Name, results[i].Engine, eng)
+			}
+		} else if errs[i] == nil || results[i] != nil {
+			t.Errorf("job %d (%s): err = %v, want per-job failure with nil result", i, jobs[i].Name, errs[i])
+		}
+	}
+	// Each failure names its own job, not its batchmate's.
+	if errs[1] != nil && !strings.Contains(errs[1].Error(), "bad-missing-input") {
+		t.Errorf("job 1 error %q does not name its job", errs[1])
+	}
+	if errs[3] != nil && !strings.Contains(errs[3].Error(), "bad-nil-graph") {
+		t.Errorf("job 3 error %q does not name its job", errs[3])
+	}
+
+	// RunBatch is the first-error view of the same batch.
+	wrapped, err := RunBatch(jobs, Options{Engine: EngineComp, Workers: 2})
+	if err == nil || err.Error() != first.Error() {
+		t.Errorf("RunBatch error = %v, want RunBatchErrs's first %v", err, first)
+	}
+	for i := range jobs {
+		if (wrapped[i] == nil) != (results[i] == nil) {
+			t.Errorf("job %d: RunBatch result presence diverges from RunBatchErrs", i)
+		}
+	}
+}
+
+// TestBatchSharedProgramRace hammers one cached Program — one lazily built
+// comp lowering, one run-context pool — from every batch worker at once.
+// Run under -race this is the data-race gate for the pooled execution path;
+// under the plain runner it still checks bit-identical results across all
+// concurrent reuses.
+func TestBatchSharedProgramRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	g, err := custard.Compile(lang.MustParse("X(i,j) = B(i,k) * C(k,j)"),
+		nil, lang.Schedule{LoopOrder: []string{"i", "k", "j"}, Par: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := map[string]*tensor.COO{
+		"B": tensor.UniformRandom("B", rng, 150, 30, 25),
+		"C": tensor.UniformRandom("C", rng, 150, 25, 30),
+	}
+	tensor.QuantizeInts(rng, 7, inputs["B"], inputs["C"])
+	want, err := prog.Run(inputs, Options{Engine: EngineComp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 24
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("shared-%d", i), Program: prog, Inputs: inputs}
+	}
+	results, errs, first := RunBatchErrs(jobs, Options{Engine: EngineComp, Workers: 8})
+	if first != nil {
+		t.Fatalf("batch failed: %v (errs %v)", first, errs)
+	}
+	for i, res := range results {
+		if res.Engine != EngineComp {
+			t.Errorf("job %d: Result.Engine = %q, want %q", i, res.Engine, EngineComp)
+		}
+		if err := tensor.IdenticalBits(want.Output, res.Output); err != nil {
+			t.Errorf("job %d output diverged under shared-program reuse: %v", i, err)
+		}
+	}
+}
