@@ -7,6 +7,7 @@
 //
 //	samserve                          # listen on :8345 with defaults
 //	samserve -addr 127.0.0.1:9000 -workers 8 -queue 256 -cache 512 -batch 4
+//	samserve -artifacts /var/cache/sam    # persistent on-disk program cache
 //
 // Endpoints (see the README's Serving section for a curl walkthrough):
 //
@@ -55,6 +56,7 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	batchMax := fs.Int("batch", 1, "max jobs one worker batches through SimulateBatch")
 	optLevel := fs.Int("O", 0, "default graph-optimization level for requests that omit schedule.opt")
 	maxBody := fs.Int64("maxbody", 8<<20, "request body size limit in bytes (oversized payloads get 413)")
+	artifacts := fs.String("artifacts", "", "persistent program-artifact cache directory (empty disables the disk cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,6 +82,7 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		Workers: *workers, QueueDepth: *queueDepth,
 		CacheSize: *cacheSize, BatchMax: *batchMax,
 		DefaultOpt: *optLevel, MaxBodyBytes: *maxBody,
+		ArtifactDir: *artifacts,
 	})
 	httpSrv := &http.Server{Handler: s}
 	fmt.Fprintf(stdout, "samserve: listening on http://%s (workers=%d queue=%d cache=%d batch=%d opt=%d)\n",

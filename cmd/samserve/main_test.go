@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -117,6 +118,91 @@ func TestSmokeServe(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "drained") {
 		t.Errorf("missing drain message in output: %s", stdout.String())
+	}
+}
+
+// TestSmokeArtifacts boots the server with -artifacts, serves one
+// byte-engine request, and checks the artifact was persisted (disk_writes in
+// stats and a .sambc file on disk).
+func TestSmokeArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-artifacts", dir}, &stdout, &stderr, stop)
+	}()
+
+	re := regexp.MustCompile(`listening on (http://[^ ]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := `{
+	  "expr": "x(i) = B(i,j) * c(j)",
+	  "inputs": {
+	    "B": {"dims": [2,2], "coords": [[0,0],[0,1],[1,1]], "values": [1,2,3]},
+	    "c": {"dims": [2], "coords": [[0],[1]], "values": [5,7]}
+	  },
+	  "options": {"engine": "byte"}
+	}`
+	resp, err := http.Post(base+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		Engine string `json:"engine"`
+		Cache  string `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+	if er.Engine != "byte" || er.Cache != "miss" {
+		t.Errorf("response engine=%q cache=%q, want byte/miss", er.Engine, er.Cache)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		DiskWrites int64 `json:"disk_writes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.DiskWrites != 1 {
+		t.Errorf("disk_writes = %d, want 1", st.DiskWrites)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "v*.sambc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("artifact dir holds %d .sambc files, want 1", len(files))
+	}
+
+	stop <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after signal")
 	}
 }
 

@@ -11,11 +11,23 @@
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1       # run the graph optimizer
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -O 1 -dot  # print the optimized graph
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -engine comp  # compiled co-iteration engine
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -emit spmv.sambc  # write a program artifact
+//	samsim -load spmv.sambc                        # run a program artifact
+//
+// -emit compiles (and, with -O, optimizes) the statement, encodes the
+// compiled program into the portable artifact format (internal/prog), writes
+// it to the given file, and exits without simulating — the artifact-side
+// analogue of -dot. -load is the other half: it decodes an artifact and runs
+// it directly on the artifact interpreter without -expr, recompiling
+// nothing; inputs are synthesized (or -mtx-bound) against the statement
+// embedded in the artifact, so -dims/-density/-seed/-check all work as
+// usual. Only the functional engines can run a loaded artifact ("byte", the
+// default under -load, and "comp").
 //
 // Flag combinations are validated before simulation: an unknown -engine
 // prints the registered engine list, the flow engine rejects graphs it
 // cannot run (gallop/bitvector blocks), engines without a cycle model
-// (flow, comp) reject -queue with a clear error up front instead of
+// (flow, comp, byte) reject -queue with a clear error up front instead of
 // silently ignoring it, and -O rejects levels the optimizer does not know.
 package main
 
@@ -31,6 +43,7 @@ import (
 	"sam/internal/custard"
 	"sam/internal/lang"
 	"sam/internal/opt"
+	"sam/internal/prog"
 	"sam/internal/sim"
 	"sam/internal/tensor"
 )
@@ -56,7 +69,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	locate := fs.Bool("locate", false, "rewrite intersections against locatable (dense) levels into locator blocks")
 	optLevel := fs.Int("O", 0, "graph optimization level (0 = paper-faithful graph, 1 = full rewrite pipeline)")
 	dot := fs.Bool("dot", false, "print the compiled (and, with -O 1, optimized) graph in Graphviz DOT and exit")
-	engine := fs.String("engine", "", "simulation engine: event (default), naive, flow, or comp")
+	emit := fs.String("emit", "", "write the compiled program as a portable artifact to this file and exit")
+	load := fs.String("load", "", "run a program artifact file instead of compiling -expr")
+	engine := fs.String("engine", "", "simulation engine: event (default), naive, flow, comp, or byte")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
 	if err := fs.Parse(args); err != nil {
@@ -67,17 +82,19 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "samsim:", err)
 		return 1
 	}
-	if *expr == "" {
+	if *load != "" && *expr != "" {
+		return fail(fmt.Errorf("-load runs an existing artifact; it cannot be combined with -expr"))
+	}
+	if *load != "" && *emit != "" {
+		return fail(fmt.Errorf("-emit writes a fresh compilation; it cannot be combined with -load"))
+	}
+	if *load == "" && *expr == "" {
 		fmt.Fprintln(stderr, "samsim: -expr is required")
 		fs.Usage()
 		return 2
 	}
 	if *optLevel < 0 || *optLevel > opt.MaxLevel {
 		return fail(fmt.Errorf("unknown -O level %d (the optimizer knows levels 0..%d)", *optLevel, opt.MaxLevel))
-	}
-	e, err := lang.Parse(*expr)
-	if err != nil {
-		return fail(err)
 	}
 
 	dims := map[string]int{}
@@ -94,11 +111,74 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			dims[kv[0]] = n
 		}
 	}
-	dimOf := func(v string) int {
-		if d, ok := dims[v]; ok {
-			return d
+
+	if *load != "" {
+		// Artifact mode: decode the program, validate the engine choice, and
+		// run without compiling anything. The statement embedded at encode
+		// time drives input synthesis and the gold check.
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			return fail(err)
 		}
-		return 100
+		bp, err := prog.Decode(data)
+		if err != nil {
+			return fail(err)
+		}
+		p, err := sim.NewProgramFromArtifact(bp)
+		if err != nil {
+			return fail(err)
+		}
+		kind := sim.EngineKind(*engine)
+		if kind == "" {
+			kind = sim.EngineByte
+		}
+		if err := p.CheckEngine(kind); err != nil {
+			return fail(err)
+		}
+		if *queueCap != 0 {
+			return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the %s engine has no cycle model (drop -queue)", kind))
+		}
+		e, err := lang.Parse(bp.IR().Expr)
+		if err != nil {
+			return fail(fmt.Errorf("artifact %s embeds unparseable statement %q: %w", *load, bp.IR().Expr, err))
+		}
+		inputs, err := buildInputs(e, *mtx, dims, *density, *seed)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := p.Run(inputs, sim.Options{Engine: kind})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "artifact:    %s (%d bytes, format v%d)\n", *load, len(data), prog.Version)
+		fmt.Fprintf(stdout, "expression:  %s\n", e)
+		fmt.Fprintf(stdout, "fingerprint: %s\n", bp.Fingerprint())
+		for name, t := range inputs {
+			fmt.Fprintf(stdout, "input %-6s %v, %d nonzeros\n", name+":", t.Dims, t.NNZ())
+		}
+		fmt.Fprintf(stdout, "engine:      %s\n", res.Engine)
+		fmt.Fprintf(stdout, "output:      %v, %d nonzeros\n", res.Output.Dims, res.Output.NNZ())
+		if *check {
+			want, err := lang.Gold(e, inputs)
+			if err != nil {
+				return fail(err)
+			}
+			if err := tensor.Equal(res.Output, want, 1e-6); err != nil {
+				return fail(fmt.Errorf("gold check FAILED: %w", err))
+			}
+			fmt.Fprintln(stdout, "gold check:  PASSED")
+		}
+		if *verbose {
+			for _, pt := range res.Output.Pts {
+				fmt.Fprintf(stdout, "  %v = %g\n", pt.Crd, pt.Val)
+			}
+		}
+		return 0
+	}
+
+	e, err := lang.Parse(*expr)
+	if err != nil {
+		return fail(err)
 	}
 
 	sched := lang.Schedule{Par: *par, UseSkip: *skip, UseLocators: *locate}
@@ -125,60 +205,37 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, g.DOT())
 		return 0
 	}
-
-	inputs := map[string]*tensor.COO{}
-	if *mtx != "" {
-		for _, part := range strings.Split(*mtx, ",") {
-			kv := strings.SplitN(part, "=", 2)
-			if len(kv) != 2 {
-				return fail(fmt.Errorf("bad -mtx binding %q", part))
-			}
-			f, err := os.Open(kv[1])
-			if err != nil {
-				return fail(err)
-			}
-			m, err := tensor.ReadMatrixMarket(kv[0], f)
-			f.Close()
-			if err != nil {
-				return fail(err)
-			}
-			inputs[kv[0]] = m
+	if *emit != "" {
+		// Encode the compiled (and possibly optimized) program into the
+		// portable artifact format and stop, the artifact analogue of -dot:
+		// no data is bound and nothing simulates.
+		enc, err := prog.Encode(g)
+		if err != nil {
+			return fail(err)
 		}
+		if err := os.WriteFile(*emit, enc, 0o644); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "samsim: wrote %d-byte artifact (format v%d, fingerprint %s) to %s\n",
+			len(enc), prog.Version, g.Fingerprint(), *emit)
+		return 0
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	for _, a := range e.Accesses() {
-		if _, ok := inputs[a.Tensor]; ok {
-			continue
-		}
-		if len(a.Idx) == 0 {
-			s := tensor.NewCOO(a.Tensor)
-			s.Append(rng.Float64() + 0.5)
-			inputs[a.Tensor] = s
-			continue
-		}
-		ds := make([]int, len(a.Idx))
-		total := 1
-		for i, v := range a.Idx {
-			ds[i] = dimOf(v)
-			total *= ds[i]
-		}
-		nnz := int(*density * float64(total))
-		if nnz < 1 {
-			nnz = 1
-		}
-		inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
+
+	inputs, err := buildInputs(e, *mtx, dims, *density, *seed)
+	if err != nil {
+		return fail(err)
 	}
 
 	// Validate the flag combination before simulating: a clear error now
 	// beats a mid-run block failure (flow cannot execute gallop/bitvector
-	// graphs) or a silently ignored flag (flow and comp have no cycle
+	// graphs) or a silently ignored flag (flow, comp and byte have no cycle
 	// model, so -queue would do nothing). An unknown -engine prints the
 	// registered engine list via sim.EngineFor.
 	kind := sim.EngineKind(*engine)
 	if err := sim.CheckEngine(kind, g); err != nil {
 		return fail(err)
 	}
-	if (kind == sim.EngineFlow || kind == sim.EngineComp) && *queueCap != 0 {
+	if (kind == sim.EngineFlow || kind == sim.EngineComp || kind == sim.EngineByte) && *queueCap != 0 {
 		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the %s engine has no cycle model (drop -queue or use -engine event/naive)", kind))
 	}
 	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind})
@@ -215,4 +272,61 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// buildInputs binds -mtx Matrix Market files and synthesizes every remaining
+// operand of the statement with seeded uniform-random sparsity. It is shared
+// by the compile path and -load, which recovers the statement from the
+// artifact's embedded metadata. Index variables missing from dims default to
+// 100.
+func buildInputs(e *lang.Einsum, mtxSpec string, dims map[string]int, density float64, seed int64) (map[string]*tensor.COO, error) {
+	inputs := map[string]*tensor.COO{}
+	if mtxSpec != "" {
+		for _, part := range strings.Split(mtxSpec, ",") {
+			kv := strings.SplitN(part, "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("bad -mtx binding %q", part)
+			}
+			f, err := os.Open(kv[1])
+			if err != nil {
+				return nil, err
+			}
+			m, err := tensor.ReadMatrixMarket(kv[0], f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			inputs[kv[0]] = m
+		}
+	}
+	dimOf := func(v string) int {
+		if d, ok := dims[v]; ok {
+			return d
+		}
+		return 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, a := range e.Accesses() {
+		if _, ok := inputs[a.Tensor]; ok {
+			continue
+		}
+		if len(a.Idx) == 0 {
+			s := tensor.NewCOO(a.Tensor)
+			s.Append(rng.Float64() + 0.5)
+			inputs[a.Tensor] = s
+			continue
+		}
+		ds := make([]int, len(a.Idx))
+		total := 1
+		for i, v := range a.Idx {
+			ds[i] = dimOf(v)
+			total *= ds[i]
+		}
+		nnz := int(density * float64(total))
+		if nnz < 1 {
+			nnz = 1
+		}
+		inputs[a.Tensor] = tensor.UniformRandom(a.Tensor, rng, nnz, ds...)
+	}
+	return inputs, nil
 }

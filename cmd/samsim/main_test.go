@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,7 +29,7 @@ func TestSmokeSequential(t *testing.T) {
 
 // TestSmokeParallel runs the same statement across 4 lanes on each engine.
 func TestSmokeParallel(t *testing.T) {
-	for _, eng := range []string{"", "naive", "flow", "comp"} {
+	for _, eng := range []string{"", "naive", "flow", "comp", "byte"} {
 		var stdout, stderr bytes.Buffer
 		code := realMain([]string{
 			"-expr", "x(i) = B(i,j) * c(j)",
@@ -136,7 +138,7 @@ func TestUnknownEngineListsRegistered(t *testing.T) {
 		t.Fatal("exit 0, want failure")
 	}
 	msg := stderr.String()
-	for _, eng := range []string{"event", "naive", "flow", "comp"} {
+	for _, eng := range []string{"event", "naive", "flow", "comp", "byte"} {
 		if !strings.Contains(msg, `"`+eng+`"`) {
 			t.Errorf("diagnostic %q does not list engine %q", msg, eng)
 		}
@@ -160,6 +162,58 @@ func TestSmokeCompSkip(t *testing.T) {
 	}
 }
 
+// TestEmitLoadRoundTrip drives the artifact workflow end to end in-process:
+// -emit writes a portable artifact without simulating, -load runs it on the
+// artifact interpreter (and on comp) with the gold check passing, and a
+// cycle-engine request against the artifact fails up front — artifacts carry
+// no source graph to simulate.
+func TestEmitLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spmv.sambc")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = B(i,j) * c(j)",
+		"-par", "4", "-O", "1",
+		"-emit", path,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("emit: exit %d, stderr: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "wrote") || strings.Contains(out, "cycles:") {
+		t.Fatalf("-emit should write the artifact and skip simulation:\n%s", out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("emitted artifact missing: %v", err)
+	}
+
+	for _, eng := range []string{"", "byte", "comp"} {
+		stdout.Reset()
+		stderr.Reset()
+		code = realMain([]string{
+			"-load", path, "-engine", eng,
+			"-dims", "i=30,j=24", "-density", "0.2",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("load (engine %q): exit %d, stderr: %s", eng, code, stderr.String())
+		}
+		out := stdout.String()
+		for _, want := range []string{"artifact:", "expression:", "fingerprint:", "gold check:  PASSED"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("load (engine %q): output missing %q:\n%s", eng, want, out)
+			}
+		}
+	}
+
+	// Cycle engines need the source graph; a loaded artifact has none.
+	stdout.Reset()
+	stderr.Reset()
+	if code = realMain([]string{"-load", path, "-engine", "event"}, &stdout, &stderr); code == 0 {
+		t.Fatal("loading an artifact on the event engine should fail")
+	}
+	if stderr.Len() == 0 {
+		t.Error("no diagnostic for the event-engine artifact load")
+	}
+}
+
 // TestFlagCombinationValidation checks illegal engine/flag combinations
 // fail up front with a diagnostic naming the conflict, not mid-run.
 func TestFlagCombinationValidation(t *testing.T) {
@@ -170,8 +224,11 @@ func TestFlagCombinationValidation(t *testing.T) {
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-skip", "-engine", "flow"}, "gallop"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "flow", "-queue", "4"}, "-queue"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "comp", "-queue", "4"}, "-queue"},
+		{[]string{"-expr", "x(i) = b(i) * c(i)", "-engine", "byte", "-queue", "4"}, "-queue"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "2"}, "unknown -O level 2"},
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "-1"}, "unknown -O level -1"},
+		{[]string{"-expr", "x(i) = b(i)", "-load", "a.sambc"}, "-load"},
+		{[]string{"-load", "a.sambc", "-emit", "b.sambc"}, "-emit"},
 	}
 	for _, c := range cases {
 		var stdout, stderr bytes.Buffer

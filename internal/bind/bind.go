@@ -31,6 +31,14 @@ func NewPlan(g *graph.Graph) *Plan {
 	return &Plan{bindings: g.Bindings, dims: g.OutputDims}
 }
 
+// NewPlanFromParts builds a Plan from bare binding metadata, for callers that
+// hold a graph's lifted metadata without the graph itself — a decoded program
+// artifact carries exactly these two slices. The slices are referenced, not
+// copied, under the same immutability contract as NewPlan.
+func NewPlanFromParts(bindings []graph.Binding, dims []graph.DimRef) *Plan {
+	return &Plan{bindings: bindings, dims: dims}
+}
+
 // Operands builds each operand's fibertree storage from its source tensor,
 // permuting mode orders and building the per-level storage the plan's
 // formats request. Inputs are keyed by source tensor name; order-0 tensors

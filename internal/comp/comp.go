@@ -3,17 +3,26 @@
 // directly, skipping the token queues and per-cycle scheduling the
 // cycle-accurate engines pay on every edge.
 //
-// Lowering walks the graph in topological order and emits one closure per
-// block, wired through flat stream buffers instead of queues. Each closure
-// is a merged loop over its operands' full streams: level scanners become
-// cursor walks over fiber.Tensor storage, intersections and unions become
-// two-pointer (or, for gallop blocks, coordinate-skipping galloping) merges,
-// and ALUs, reducers, droppers and writers run as tight loops fused over
-// whole fibers at a time. The token-level semantics of every block are
-// preserved exactly — the per-edge token sequences are identical to the
-// cycle engines' — so outputs are bit-identical, which the differential
-// battery in this package and the engine registration in internal/sim
-// enforce across kernels, schedules, lane counts and fuzzed inputs.
+// Lowering is split into two halves. Lower walks the graph in topological
+// order and flattens it into a serializable IR: one StepIR per block with
+// its stream-slot wiring and block parameters, plus the writer table and
+// the output metadata (ir.go). Materialize binds each StepIR to its merged-
+// loop closure through an opcode dispatch and rebuilds the derived state
+// (lane plan, output permutation). Compile is Lower followed by
+// Materialize; internal/prog serializes the IR between the two halves, so
+// the closure engine and the portable-artifact interpreter share one
+// lowering and execute the exact same closure bodies.
+//
+// Each closure is a merged loop over its operands' full streams: level
+// scanners become cursor walks over fiber.Tensor storage, intersections and
+// unions become two-pointer (or, for gallop blocks, coordinate-skipping
+// galloping) merges, and ALUs, reducers, droppers and writers run as tight
+// loops fused over whole fibers at a time. The token-level semantics of
+// every block are preserved exactly — the per-edge token sequences are
+// identical to the cycle engines' — so outputs are bit-identical, which the
+// differential battery in this package and the engine registration in
+// internal/sim enforce across kernels, schedules, lane counts and fuzzed
+// inputs.
 //
 // Supported blocks are everything except the bitvector pipeline (bitvector
 // scanners, intersecters, vector ALUs and writers stay on the cycle
@@ -37,7 +46,8 @@ import (
 
 // violation aborts execution on a stream protocol violation; Run recovers it
 // into an error. A violation in this engine is a lowering bug (the cycle
-// engines accept the same graphs), so it surfaces instead of falling back.
+// engines accept the same graphs) or a corrupt artifact, so it surfaces
+// instead of falling back.
 type violation struct{ err error }
 
 func fail(format string, args ...any) {
@@ -53,19 +63,22 @@ type portKey struct {
 	port string
 }
 
-// writerRec records one level writer discovered at lowering time: assembly
-// reads its input stream directly instead of running a closure.
+// writerRec is the materialized form of a WriterIR: assembly reads the
+// writer's input stream directly instead of running a closure.
 type writerRec struct {
-	node *graph.Node
-	slot int // input stream slot
+	label string
+	slot  int // input stream slot
 }
 
-// Program is a graph lowered to closures: its structure is immutable after
-// Compile and it is safe for concurrent Run calls — each run checks a
-// reusable RunCtx out of the program's context pool (or the caller holds
-// one explicitly via NewCtx/RunPooled).
+// Program is a lowered IR bound to closures: its structure is immutable
+// after Compile/Materialize and it is safe for concurrent Run calls — each
+// run checks a reusable RunCtx out of the program's context pool (or the
+// caller holds one explicitly via NewCtx/RunPooled).
 type Program struct {
+	// g is the source graph when the program came from Compile, nil when it
+	// was materialized from a decoded artifact; execution reads only ir.
 	g     *graph.Graph
+	ir    *IR
 	steps []step
 	nSlot int
 
@@ -116,140 +129,34 @@ func Check(g *graph.Graph) error {
 	return nil
 }
 
-// Compile lowers a graph into a Program. It fails for graphs outside the
-// supported block set (see Check) and for structurally broken graphs.
+// Compile lowers a graph into a Program: Lower to the flat IR, Materialize
+// back to closures. It fails for graphs outside the supported block set
+// (see Check) and for structurally broken graphs.
 func Compile(g *graph.Graph) (*Program, error) {
-	if err := Check(g); err != nil {
-		return nil, err
-	}
-	order, err := topoOrder(g)
+	ir, err := Lower(g)
 	if err != nil {
 		return nil, err
 	}
-	p := &Program{g: g, crdWr: map[int]writerRec{}}
-
-	// One stream buffer per driven output port; fan-out consumers read the
-	// same buffer. Undriven diagnostic ports write to slot -1 (discarded).
-	outSlot := map[portKey]int{}
-	inSlot := map[portKey]int{}
-	for _, e := range g.Edges {
-		k := portKey{e.From, e.FromPort}
-		s, ok := outSlot[k]
-		if !ok {
-			s = p.nSlot
-			p.nSlot++
-			outSlot[k] = s
-		}
-		inSlot[portKey{e.To, e.ToPort}] = s
+	p, err := Materialize(ir)
+	if err != nil {
+		return nil, err
 	}
-
-	c := &lowerer{p: p, outSlot: outSlot, inSlot: inSlot}
-	var infos []stepInfo
-	for _, n := range order {
-		c.curIns, c.curOuts = nil, nil
-		before := len(p.steps)
-		if err := c.lower(n); err != nil {
-			return nil, err
-		}
-		// Every lowered block contributes at most one step; writers only
-		// record their input slot.
-		if len(p.steps) > before {
-			infos = append(infos, stepInfo{node: n, step: p.steps[before], ins: c.curIns, outs: c.curOuts})
-		}
-	}
-	if p.valsWr == nil {
-		return nil, fmt.Errorf("comp: graph %q has no value writer", g.Name)
-	}
-	p.hints = make([]atomic.Int64, p.nSlot)
-	p.plan = buildPlan(p.nSlot, infos, p.crdWr, p.valsWr)
-
-	// Precompute the output permutation once; a missing variable surfaces
-	// at assembly time, after stream validation, like the other engines.
-	nOut := len(g.OutputVars)
-	p.perm = make([]int, nOut)
-	p.idPerm = true
-	for i, v := range g.LHSVars {
-		found := false
-		for j, u := range g.OutputVars {
-			if u == v {
-				p.perm[i] = j
-				found = true
-			}
-		}
-		if !found {
-			p.permErr = fmt.Errorf("comp: output variable %q missing from graph metadata", v)
-			break
-		}
-		if p.perm[i] != i {
-			p.idPerm = false
-		}
-	}
+	p.g = g
 	return p, nil
 }
 
-// Graph returns the lowered graph.
+// Graph returns the source graph, or nil when the program was materialized
+// from a decoded artifact (execution never needs it; see IR).
 func (p *Program) Graph() *graph.Graph { return p.g }
+
+// IR returns the program's lowered intermediate form, the unit
+// internal/prog serializes.
+func (p *Program) IR() *IR { return p.ir }
 
 // Parallel reports whether the program compiled to a lane-parallel plan:
 // Run will execute its fork region on per-lane goroutines. Sequential
 // programs (Par <= 1, or shapes the lane planner rejects) return false.
 func (p *Program) Parallel() bool { return p.plan != nil }
-
-// lowerer carries the per-compile wiring state. curIns/curOuts accumulate
-// the slots resolved while lowering the current node, in call order, so
-// Compile can record each step's dataflow for the lane planner; curOuts
-// keeps -1 entries so a Parallelize step's outs index its lane numbers.
-type lowerer struct {
-	p       *Program
-	outSlot map[portKey]int
-	inSlot  map[portKey]int
-	curIns  []int
-	curOuts []int
-}
-
-// in resolves the stream slot feeding an input port.
-func (c *lowerer) in(n *graph.Node, port string) (int, error) {
-	s, ok := c.inSlot[portKey{n.ID, port}]
-	if !ok {
-		return 0, fmt.Errorf("comp: node %q input port %q unconnected", n.Label, port)
-	}
-	c.curIns = append(c.curIns, s)
-	return s, nil
-}
-
-// ins resolves a numbered port family, e.g. crd0..crdN.
-func (c *lowerer) ins(n *graph.Node, prefix string, count int) ([]int, error) {
-	slots := make([]int, count)
-	for i := range slots {
-		var err error
-		if slots[i], err = c.in(n, fmt.Sprintf("%s%d", prefix, i)); err != nil {
-			return nil, err
-		}
-	}
-	return slots, nil
-}
-
-// out resolves an output port's slot; undriven ports discard.
-func (c *lowerer) out(n *graph.Node, port string) int {
-	s := -1
-	if t, ok := c.outSlot[portKey{n.ID, port}]; ok {
-		s = t
-	}
-	c.curOuts = append(c.curOuts, s)
-	return s
-}
-
-// outs resolves a numbered output port family.
-func (c *lowerer) outs(n *graph.Node, prefix string, count int) []int {
-	slots := make([]int, count)
-	for i := range slots {
-		slots[i] = c.out(n, fmt.Sprintf("%s%d", prefix, i))
-	}
-	return slots
-}
-
-// add appends one lowered closure.
-func (c *lowerer) add(s step) { c.p.steps = append(c.p.steps, s) }
 
 // exec is the view one region of a run executes against: the run's stream
 // buffers indexed by slot, the bound operand storage and output dimensions,
@@ -334,7 +241,9 @@ func RunGraph(g *graph.Graph, inputs map[string]*tensor.COO) (*tensor.COO, error
 	return p.Run(bound, dims)
 }
 
-// topoOrder sorts nodes so producers precede consumers.
+// topoOrder sorts nodes so producers precede consumers. Kahn's queue pops
+// in insertion order, so the order — and everything derived from it, the IR
+// step list included — is deterministic for a given graph.
 func topoOrder(g *graph.Graph) ([]*graph.Node, error) {
 	indeg := make([]int, len(g.Nodes))
 	succ := make([][]int, len(g.Nodes))

@@ -168,7 +168,7 @@ func (p *Program) NewCtx() *RunCtx {
 			rc.lane[l] = exec{streams: rc.streams, a: &rc.laneArena[l]}
 		}
 	}
-	order := len(p.g.OutputVars)
+	order := len(p.ir.OutputVars)
 	rc.cur = make([]int64, order)
 	rc.lvls = make([]*fiber.CompressedLevel, order)
 	for i := range rc.lvls {
@@ -332,15 +332,15 @@ func (p *Program) runLanes(rc *RunCtx) {
 // the permutation is the identity, where the fibertree walk is already
 // lexicographic).
 func (p *Program) assemble(rc *RunCtx) (*tensor.COO, error) {
-	g := p.g
+	ir := p.ir
 	x := &rc.main
-	order := len(g.OutputVars)
+	order := len(ir.OutputVars)
 	valRec := x.streams[p.valsWr.slot]
 	if err := valRec.Validate(order); err != nil {
-		return nil, fmt.Errorf("comp: writer %q stream malformed: %w", p.valsWr.node.Label, err)
+		return nil, fmt.Errorf("comp: writer %q stream malformed: %w", p.valsWr.label, err)
 	}
 	ft := &rc.ft
-	ft.Name = g.OutputTensor
+	ft.Name = ir.OutputTensor
 	ft.Dims = x.dims
 	ft.Vals = ft.Vals[:0]
 	for _, t := range valRec {
@@ -358,7 +358,7 @@ func (p *Program) assemble(rc *RunCtx) (*tensor.COO, error) {
 		}
 		rec := x.streams[w.slot]
 		if err := rec.Validate(lvl + 1); err != nil {
-			return nil, fmt.Errorf("comp: writer %q stream malformed: %w", w.node.Label, err)
+			return nil, fmt.Errorf("comp: writer %q stream malformed: %w", w.label, err)
 		}
 		L := rc.lvls[lvl]
 		L.N = x.dims[lvl]
@@ -380,7 +380,7 @@ func (p *Program) assemble(rc *RunCtx) (*tensor.COO, error) {
 	}
 	// Optimized graphs bypass coordinate-mode droppers; rebuild the fiber
 	// count of all-empty levels from the parent, as the other engines do.
-	if g.OptLevel > 0 {
+	if ir.OptLevel > 0 {
 		ft.NormalizeEmptyLevels()
 	}
 	if err := ft.Validate(); err != nil {
@@ -415,7 +415,7 @@ func (p *Program) assemble(rc *RunCtx) (*tensor.COO, error) {
 	for _, pd := range p.perm {
 		rc.dims = append(rc.dims, x.dims[pd])
 	}
-	rc.out.Name = g.OutputTensor
+	rc.out.Name = ir.OutputTensor
 	rc.out.Dims = rc.dims
 	if order == 0 {
 		rc.out.Dims = nil

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"sam/internal/fiber"
-	"sam/internal/graph"
 	"sam/internal/token"
 )
 
@@ -16,26 +15,17 @@ func gallopTo(lvl fiber.Level, f, pos, n int, target int64) int {
 	return pos + sort.Search(n-pos, func(i int) bool { return lvl.Coord(f, pos+i) >= target })
 }
 
-// lowerGallop is the coordinate-skipping intersection of paper Section 4.2
+// stepGallop is the coordinate-skipping intersection of paper Section 4.2
 // as one merged loop: each pair of fiber references co-iterates the two
 // storage levels directly, matching coordinates with a gallop-advance loop
 // and emitting the matched coordinate plus both child references.
-func (c *lowerer) lowerGallop(n *graph.Node) error {
-	inA, err := c.in(n, "ref0")
-	if err != nil {
-		return err
-	}
-	inB, err := c.in(n, "ref1")
-	if err != nil {
-		return err
-	}
-	outCrd := c.out(n, "crd")
-	outRefA := c.out(n, "ref0")
-	outRefB := c.out(n, "ref1")
-	opA, lvA := n.Tensor, n.Level
-	opB, lvB := n.TensorB, n.LevelB
-	name := n.Label
-	c.add(func(x *exec) {
+func stepGallop(si *StepIR) step {
+	inA, inB := si.Ins[0], si.Ins[1]
+	outCrd, outRefA, outRefB := si.Outs[0], si.Outs[1], si.Outs[2]
+	opA, lvA := si.Tensor, si.Level
+	opB, lvB := si.TensorB, si.LevelB
+	name := si.Label
+	return func(x *exec) {
 		la := x.level(name, opA, lvA)
 		lb := x.level(name, opB, lvB)
 		ca, cb := x.cur(inA), x.cur(inB)
@@ -99,6 +89,5 @@ func (c *lowerer) lowerGallop(n *graph.Node) error {
 				fail("%s: misaligned reference inputs %v vs %v", name, ta, tb)
 			}
 		}
-	})
-	return nil
+	}
 }

@@ -1,82 +1,34 @@
 package comp
 
 import (
-	"fmt"
-
-	"sam/internal/graph"
 	"sam/internal/lang"
 	"sam/internal/token"
 )
 
-// lower emits the closure for one block. The closures mirror the token-level
-// semantics of internal/core and internal/flow exactly; only the execution
-// strategy differs — whole streams per call instead of tokens per cycle.
-func (c *lowerer) lower(n *graph.Node) error {
-	switch n.Kind {
-	case graph.Root:
-		out := c.out(n, "ref")
-		c.add(func(x *exec) {
-			x.push(out, token.C(0))
-			x.push(out, token.D())
-		})
-		return nil
-	case graph.Scanner:
-		return c.lowerScanner(n)
-	case graph.Repeat:
-		return c.lowerRepeat(n)
-	case graph.Intersect:
-		return c.lowerIntersect(n)
-	case graph.Union:
-		return c.lowerUnion(n)
-	case graph.GallopIntersect:
-		return c.lowerGallop(n)
-	case graph.Locate:
-		return c.lowerLocate(n)
-	case graph.Array:
-		return c.lowerArray(n)
-	case graph.ALU:
-		return c.lowerALU(n)
-	case graph.Reduce:
-		return c.lowerReduce(n)
-	case graph.CrdDrop:
-		return c.lowerCrdDrop(n)
-	case graph.CrdWriter:
-		slot, err := c.in(n, "crd")
-		if err != nil {
-			return err
-		}
-		c.p.crdWr[n.OutLevel] = writerRec{node: n, slot: slot}
-		return nil
-	case graph.ValsWriter:
-		slot, err := c.in(n, "val")
-		if err != nil {
-			return err
-		}
-		c.p.valsWr = &writerRec{node: n, slot: slot}
-		return nil
-	case graph.Parallelize:
-		return c.lowerParallelize(n)
-	case graph.Serialize:
-		return c.lowerSerialize(n)
-	case graph.SerializePair:
-		return c.lowerSerializePair(n)
-	case graph.LaneReduce:
-		return c.lowerLaneReduce(n)
+// The step constructors bind one lowered StepIR to its closure. The closures
+// mirror the token-level semantics of internal/core and internal/flow
+// exactly; only the execution strategy differs — whole streams per call
+// instead of tokens per cycle. Slot layouts follow the canonical port order
+// of graph.InPorts/graph.OutPorts, which IR.Validate has already checked, so
+// the headers read positions without re-validating.
+
+// stepRoot emits the single root reference.
+func stepRoot(si *StepIR) step {
+	out := si.Outs[0]
+	return func(x *exec) {
+		x.push(out, token.C(0))
+		x.push(out, token.D())
 	}
-	return fmt.Errorf("comp: block kind %v not lowerable", n.Kind)
 }
 
-// lowerScanner walks one storage level fiber by fiber: each reference token
+// stepScanner walks one storage level fiber by fiber: each reference token
 // selects a fiber, whose coordinates and child references stream out in one
 // cursor walk; stop tokens rise one level.
-func (c *lowerer) lowerScanner(n *graph.Node) error {
-	in, err := c.in(n, "ref")
-	if err != nil {
-		return err
-	}
-	outCrd, outRef := c.out(n, "crd"), c.out(n, "ref")
-	operand, level, label := n.Tensor, n.Level, n.Label
-	c.add(func(x *exec) {
+func stepScanner(si *StepIR) step {
+	in := si.Ins[0]
+	outCrd, outRef := si.Outs[0], si.Outs[1]
+	operand, level, label := si.Tensor, si.Level, si.Label
+	return func(x *exec) {
 		lvl := x.level(label, operand, level)
 		ref := x.cur(in)
 		sep := false
@@ -111,24 +63,16 @@ func (c *lowerer) lowerScanner(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerRepeat broadcasts each reference over its coordinate group
+// stepRepeat broadcasts each reference over its coordinate group
 // (Definition 3.4).
-func (c *lowerer) lowerRepeat(n *graph.Node) error {
-	inCrd, err := c.in(n, "crd")
-	if err != nil {
-		return err
-	}
-	inRef, err := c.in(n, "ref")
-	if err != nil {
-		return err
-	}
-	out := c.out(n, "ref")
-	name := n.Label
-	c.add(func(x *exec) {
+func stepRepeat(si *StepIR) step {
+	inCrd, inRef := si.Ins[0], si.Ins[1]
+	out := si.Outs[0]
+	name := si.Label
+	return func(x *exec) {
 		crd, ref := x.cur(inCrd), x.cur(inRef)
 		var curTok token.Tok
 		have := false
@@ -179,25 +123,17 @@ func (c *lowerer) lowerRepeat(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerIntersect is the m-ary intersecter as one two-pointer merge loop over
+// stepIntersect is the m-ary intersecter as one two-pointer merge loop over
 // the input coordinate streams (Definition 3.2).
-func (c *lowerer) lowerIntersect(n *graph.Node) error {
-	inCrd, err := c.ins(n, "crd", n.Ways)
-	if err != nil {
-		return err
-	}
-	inRef, err := c.ins(n, "ref", n.Ways)
-	if err != nil {
-		return err
-	}
-	outCrd := c.out(n, "crd")
-	outRef := c.outs(n, "ref", n.Ways)
-	name := n.Label
-	c.add(func(x *exec) {
+func stepIntersect(si *StepIR) step {
+	inCrd, inRef := splitPairs(si.Ins, si.Ways)
+	outCrd := si.Outs[0]
+	outRef := si.Outs[1 : 1+si.Ways]
+	name := si.Label
+	return func(x *exec) {
 		m := len(inCrd)
 		cc, cr := x.curs(inCrd), x.curs(inRef)
 		heads := x.a.tokens(m)
@@ -299,24 +235,16 @@ func (c *lowerer) lowerIntersect(n *graph.Node) error {
 				}
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerUnion is the m-ary unioner as one merge loop (Definition 3.3).
-func (c *lowerer) lowerUnion(n *graph.Node) error {
-	inCrd, err := c.ins(n, "crd", n.Ways)
-	if err != nil {
-		return err
-	}
-	inRef, err := c.ins(n, "ref", n.Ways)
-	if err != nil {
-		return err
-	}
-	outCrd := c.out(n, "crd")
-	outRef := c.outs(n, "ref", n.Ways)
-	name := n.Label
-	c.add(func(x *exec) {
+// stepUnion is the m-ary unioner as one merge loop (Definition 3.3).
+func stepUnion(si *StepIR) step {
+	inCrd, inRef := splitPairs(si.Ins, si.Ways)
+	outCrd := si.Outs[0]
+	outRef := si.Outs[1 : 1+si.Ways]
+	name := si.Label
+	return func(x *exec) {
 		m := len(inCrd)
 		cc, cr := x.curs(inCrd), x.curs(inRef)
 		heads := x.a.tokens(m)
@@ -375,28 +303,16 @@ func (c *lowerer) lowerUnion(n *graph.Node) error {
 				}
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerLocate is the iterate-locate block following a driver coordinate
+// stepLocate is the iterate-locate block following a driver coordinate
 // stream into one tensor level (Definition 4.1).
-func (c *lowerer) lowerLocate(n *graph.Node) error {
-	inCrd, err := c.in(n, "crd")
-	if err != nil {
-		return err
-	}
-	inRef, err := c.in(n, "ref")
-	if err != nil {
-		return err
-	}
-	inFib, err := c.in(n, "fiber")
-	if err != nil {
-		return err
-	}
-	outCrd, outRef, outLoc := c.out(n, "crd"), c.out(n, "ref"), c.out(n, "loc")
-	operand, level, name := n.Tensor, n.Level, n.Label
-	c.add(func(x *exec) {
+func stepLocate(si *StepIR) step {
+	inCrd, inRef, inFib := si.Ins[0], si.Ins[1], si.Ins[2]
+	outCrd, outRef, outLoc := si.Outs[0], si.Outs[1], si.Outs[2]
+	operand, level, name := si.Tensor, si.Level, si.Label
+	return func(x *exec) {
 		lvl := x.level(name, operand, level)
 		crd, ref, fib := x.cur(inCrd), x.cur(inRef), x.cur(inFib)
 		var curTok token.Tok
@@ -466,20 +382,16 @@ func (c *lowerer) lowerLocate(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerArray is the array block in load mode: references gather values in
+// stepArray is the array block in load mode: references gather values in
 // one pass over the reference stream (Definition 3.5).
-func (c *lowerer) lowerArray(n *graph.Node) error {
-	in, err := c.in(n, "ref")
-	if err != nil {
-		return err
-	}
-	out := c.out(n, "val")
-	operand, name := n.Tensor, n.Label
-	c.add(func(x *exec) {
+func stepArray(si *StepIR) step {
+	in := si.Ins[0]
+	out := si.Outs[0]
+	operand, name := si.Tensor, si.Label
+	return func(x *exec) {
 		vals := x.vals(name, operand)
 		ref := x.cur(in)
 		for {
@@ -497,25 +409,17 @@ func (c *lowerer) lowerArray(n *graph.Node) error {
 				}
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerALU combines two aligned value streams point-wise, fused over the
+// stepALU combines two aligned value streams point-wise, fused over the
 // whole stream (Definition 3.6).
-func (c *lowerer) lowerALU(n *graph.Node) error {
-	inA, err := c.in(n, "a")
-	if err != nil {
-		return err
-	}
-	inB, err := c.in(n, "b")
-	if err != nil {
-		return err
-	}
-	out := c.out(n, "val")
-	name := n.Label
+func stepALU(si *StepIR) step {
+	inA, inB := si.Ins[0], si.Ins[1]
+	out := si.Outs[0]
+	name := si.Label
 	var op func(a, b float64) float64
-	switch n.Op {
+	switch si.Op {
 	case lang.Mul:
 		op = func(a, b float64) float64 { return a * b }
 	case lang.Add:
@@ -523,7 +427,7 @@ func (c *lowerer) lowerALU(n *graph.Node) error {
 	default:
 		op = func(a, b float64) float64 { return a - b }
 	}
-	c.add(func(x *exec) {
+	return func(x *exec) {
 		ca, cb := x.cur(inA), x.cur(inB)
 		a := ca.next()
 		b := cb.next()
@@ -565,27 +469,20 @@ func (c *lowerer) lowerALU(n *graph.Node) error {
 			a = ca.next()
 			b = cb.next()
 		}
-	})
-	return nil
+	}
 }
 
-// lowerCrdDrop lowers the coordinate dropper in either mode
+// stepCrdDrop lowers the coordinate dropper in either mode
 // (Definition 3.9), with the same asymmetric stop rules as the cycle
 // implementation.
-func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
-	inOuter, err := c.in(n, "outer")
-	if err != nil {
-		return err
-	}
-	outOuter := c.out(n, "outer")
-	name := n.Label
-	if n.DropVal {
-		inVal, err := c.in(n, "val")
-		if err != nil {
-			return err
-		}
-		outVal := c.out(n, "val")
-		c.add(func(x *exec) {
+func stepCrdDrop(si *StepIR) step {
+	inOuter := si.Ins[0]
+	outOuter := si.Outs[0]
+	name := si.Label
+	if si.DropVal {
+		inVal := si.Ins[1]
+		outVal := si.Outs[1]
+		return func(x *exec) {
 			co, cv := x.cur(inOuter), x.cur(inVal)
 			ct := co.next()
 			for {
@@ -614,15 +511,11 @@ func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
 					fail("%s: misaligned %v vs %v", name, ct, v)
 				}
 			}
-		})
-		return nil
+		}
 	}
-	inInner, err := c.in(n, "inner")
-	if err != nil {
-		return err
-	}
-	outInner := c.out(n, "inner")
-	c.add(func(x *exec) {
+	inInner := si.Ins[1]
+	outInner := si.Outs[1]
+	return func(x *exec) {
 		co, ci := x.cur(inOuter), x.cur(inInner)
 		var pending token.Tok
 		havePending := false
@@ -701,6 +594,5 @@ func (c *lowerer) lowerCrdDrop(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }

@@ -8,7 +8,9 @@ import "sam/internal/graph"
 // slots — so parallelism is purely a scheduling question: which steps can
 // run on per-lane goroutines between the parallelizer fork and the
 // serializer/lane-reduce join. buildPlan answers it with a dataflow tagging
-// pass over the step list; runLanes (exec.go) executes the result.
+// pass over the step list; runLanes (exec.go) executes the result. The plan
+// is derived state: Materialize recomputes it from the IR on every load, so
+// a serialized artifact can never carry an unsound plan.
 
 // Region tags. Lane indices are >= 0.
 const (
@@ -16,15 +18,11 @@ const (
 	tagPost = -2 // runs after the barrier (joins, writers' consumers)
 )
 
-// stepInfo records the dataflow of one lowered step: the node it came from
-// and the stream slots it reads and writes (slot -1 marks a discarded
-// output; positions in outs are preserved, so a Parallelize step's outs
-// index is its lane number).
+// stepInfo pairs one lowered step's IR record (the dataflow: kind, ways,
+// and the stream slots it reads and writes) with its bound closure.
 type stepInfo struct {
-	node *graph.Node
+	si   *StepIR
 	step step
-	ins  []int
-	outs []int
 }
 
 // execPlan partitions the program's steps into a sequential prefix, one
@@ -60,11 +58,11 @@ type execPlan struct {
 // barrier provides the happens-before edges.
 func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *writerRec) *execPlan {
 	ways := 0
-	for _, si := range infos {
-		if si.node.Kind == graph.Parallelize {
+	for _, in := range infos {
+		if in.si.Kind == graph.Parallelize {
 			if ways == 0 {
-				ways = si.node.Ways
-			} else if ways != si.node.Ways {
+				ways = in.si.Ways
+			} else if ways != in.si.Ways {
 				return nil
 			}
 		}
@@ -78,18 +76,18 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 		slotTag[i] = tagPre
 	}
 	stepTag := make([]int, len(infos))
-	for j, si := range infos {
-		if si.node.Kind == graph.Parallelize {
-			for _, s := range si.ins {
+	for j, in := range infos {
+		if in.si.Kind == graph.Parallelize {
+			for _, s := range in.si.Ins {
 				if slotTag[s] != tagPre {
 					return nil
 				}
 			}
-			if len(si.outs) != ways {
+			if len(in.si.Outs) != ways {
 				return nil
 			}
 			stepTag[j] = tagPre
-			for lane, s := range si.outs {
+			for lane, s := range in.si.Outs {
 				if s >= 0 {
 					slotTag[s] = lane
 				}
@@ -97,7 +95,7 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 			continue
 		}
 		t := tagPre
-		for _, s := range si.ins {
+		for _, s := range in.si.Ins {
 			st := slotTag[s]
 			if st == tagPre || st == t {
 				continue
@@ -110,7 +108,7 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 			break
 		}
 		stepTag[j] = t
-		for _, s := range si.outs {
+		for _, s := range in.si.Outs {
 			if s >= 0 {
 				slotTag[s] = t
 			}
@@ -119,8 +117,8 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 
 	// Backward refinement.
 	cons := make([][]int, nSlot)
-	for j, si := range infos {
-		for _, s := range si.ins {
+	for j, in := range infos {
+		for _, s := range in.si.Ins {
 			cons[s] = append(cons[s], j)
 		}
 	}
@@ -130,12 +128,12 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 	}
 	writerSlot[valsWr.slot] = true
 	for j := len(infos) - 1; j >= 0; j-- {
-		if stepTag[j] != tagPre || infos[j].node.Kind == graph.Parallelize {
+		if stepTag[j] != tagPre || infos[j].si.Kind == graph.Parallelize {
 			continue
 		}
 		lane := tagPre
 		ok, any := true, false
-		for _, s := range infos[j].outs {
+		for _, s := range infos[j].si.Outs {
 			if s < 0 {
 				continue
 			}
@@ -158,7 +156,7 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 		}
 		if ok && any && lane >= 0 {
 			stepTag[j] = lane
-			for _, s := range infos[j].outs {
+			for _, s := range infos[j].si.Outs {
 				if s >= 0 {
 					slotTag[s] = lane
 				}
@@ -168,14 +166,14 @@ func buildPlan(nSlot int, infos []stepInfo, crdWr map[int]writerRec, valsWr *wri
 
 	plan := &execPlan{ways: ways, lanes: make([][]step, ways)}
 	onLane := 0
-	for j, si := range infos {
+	for j, in := range infos {
 		switch t := stepTag[j]; t {
 		case tagPre:
-			plan.pre = append(plan.pre, si.step)
+			plan.pre = append(plan.pre, in.step)
 		case tagPost:
-			plan.post = append(plan.post, si.step)
+			plan.post = append(plan.post, in.step)
 		default:
-			plan.lanes[t] = append(plan.lanes[t], si.step)
+			plan.lanes[t] = append(plan.lanes[t], in.step)
 			onLane++
 		}
 	}

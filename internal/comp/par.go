@@ -1,10 +1,7 @@
 package comp
 
 import (
-	"fmt"
-
 	"sam/internal/core"
-	"sam/internal/graph"
 	"sam/internal/token"
 )
 
@@ -15,17 +12,14 @@ import (
 // reuses the shared pure codec core.MergeLaneStreams directly, since the
 // lane streams are already materialized here.
 
-// lowerParallelize forks a stream across lanes: level < 0 advances the lane
+// stepParallelize forks a stream across lanes: level < 0 advances the lane
 // after every data token, level >= 0 after each stop of exactly that level;
 // higher stops and done replicate to every lane.
-func (c *lowerer) lowerParallelize(n *graph.Node) error {
-	in, err := c.in(n, "in")
-	if err != nil {
-		return err
-	}
-	outs := c.outs(n, "out", n.Ways)
-	level := n.Level
-	c.add(func(x *exec) {
+func stepParallelize(si *StepIR) step {
+	in := si.Ins[0]
+	outs := si.Outs
+	level := si.Level
+	return func(x *exec) {
 		cin := x.cur(in)
 		lanes := len(outs)
 		lane := 0
@@ -57,8 +51,7 @@ func (c *lowerer) lowerParallelize(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // allClosed reports whether every lane cursor's head is a stop above the
@@ -73,17 +66,15 @@ func allClosed(cs []*cursor, level int) bool {
 	return true
 }
 
-// lowerSerialize joins lane streams round-robin; deep joins (Level >= 0) are
+// stepSerialize joins lane streams round-robin; deep joins (Level >= 0) are
 // rotated by per-lane copies of the forked outermost coordinate stream.
-func (c *lowerer) lowerSerialize(n *graph.Node) error {
-	ins, err := c.ins(n, "in", n.Ways)
-	if err != nil {
-		return err
-	}
-	out := c.out(n, "out")
-	level, name := n.Level, n.Label
+func stepSerialize(si *StepIR) step {
+	w := si.Ways
+	ins := si.Ins[:w]
+	out := si.Outs[0]
+	level, name := si.Level, si.Label
 	if level < 0 {
-		c.add(func(x *exec) {
+		return func(x *exec) {
 			h := x.curs(ins)
 			lanes := len(h)
 			lane := 0
@@ -115,14 +106,10 @@ func (c *lowerer) lowerSerialize(n *graph.Node) error {
 					return
 				}
 			}
-		})
-		return nil
+		}
 	}
-	drv, err := c.ins(n, "drv", n.Ways)
-	if err != nil {
-		return err
-	}
-	c.add(func(x *exec) {
+	drv := si.Ins[w : 2*w]
+	return func(x *exec) {
 		h := x.curs(ins)
 		hd := x.curs(drv)
 		lanes := len(h)
@@ -194,25 +181,19 @@ func (c *lowerer) lowerSerialize(n *graph.Node) error {
 				fail("%s: driver stream ended before its closing stop", name)
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerSerializePair joins (coordinate, value) lane stream pairs keyed on
+// stepSerializePair joins (coordinate, value) lane stream pairs keyed on
 // the coordinate streams, forwarding orphan zero values on the value output.
-func (c *lowerer) lowerSerializePair(n *graph.Node) error {
-	inCrd, err := c.ins(n, "crd", n.Ways)
-	if err != nil {
-		return err
-	}
-	inVal, err := c.ins(n, "val", n.Ways)
-	if err != nil {
-		return err
-	}
-	outCrd, outVal := c.out(n, "crd"), c.out(n, "val")
-	level, name := n.Level, n.Label
+func stepSerializePair(si *StepIR) step {
+	w := si.Ways
+	inCrd := si.Ins[:w]
+	inVal := si.Ins[w : 2*w]
+	outCrd, outVal := si.Outs[0], si.Outs[1]
+	level, name := si.Level, si.Label
 	if level < 0 {
-		c.add(func(x *exec) {
+		return func(x *exec) {
 			hc := x.curs(inCrd)
 			hv := x.curs(inVal)
 			lanes := len(hc)
@@ -281,14 +262,10 @@ func (c *lowerer) lowerSerializePair(n *graph.Node) error {
 					return
 				}
 			}
-		})
-		return nil
+		}
 	}
-	drv, err := c.ins(n, "drv", n.Ways)
-	if err != nil {
-		return err
-	}
-	c.add(func(x *exec) {
+	drv := si.Ins[2*w : 3*w]
+	return func(x *exec) {
 		hc := x.curs(inCrd)
 		hv := x.curs(inVal)
 		hd := x.curs(drv)
@@ -396,41 +373,21 @@ func (c *lowerer) lowerSerializePair(n *graph.Node) error {
 				fail("%s: driver stream ended before its closing stop", name)
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerLaneReduce merges two lanes' output stream bundles (m coordinate
+// stepLaneReduce merges two lanes' output stream bundles (m coordinate
 // streams plus values per lane) by adding values at matching coordinate
-// points, via the shared pure codec.
-func (c *lowerer) lowerLaneReduce(n *graph.Node) error {
-	m := n.RedN
-	side := func(s int) ([]int, int, error) {
-		crds := make([]int, m)
-		for q := 0; q < m; q++ {
-			var err error
-			if crds[q], err = c.in(n, fmt.Sprintf("crd%d_%d", q, s)); err != nil {
-				return nil, 0, err
-			}
-		}
-		val, err := c.in(n, fmt.Sprintf("val%d", s))
-		if err != nil {
-			return nil, 0, err
-		}
-		return crds, val, nil
-	}
-	crdA, valA, err := side(0)
-	if err != nil {
-		return err
-	}
-	crdB, valB, err := side(1)
-	if err != nil {
-		return err
-	}
-	outCrd := c.outs(n, "crd", m)
-	outVal := c.out(n, "val")
-	name := n.Label
-	c.add(func(x *exec) {
+// points, via the shared pure codec. Input slots follow LaneReduce port
+// order: side 0's m coordinate streams then its values, then side 1's.
+func stepLaneReduce(si *StepIR) step {
+	m := si.RedN
+	crdA, valA := si.Ins[:m], si.Ins[m]
+	crdB, valB := si.Ins[m+1:2*m+1], si.Ins[2*m+1]
+	outCrd := si.Outs[:m]
+	outVal := si.Outs[m]
+	name := si.Label
+	return func(x *exec) {
 		collect := func(slots []int) []token.Stream {
 			out := make([]token.Stream, len(slots))
 			for i, s := range slots {
@@ -450,6 +407,5 @@ func (c *lowerer) lowerLaneReduce(n *graph.Node) error {
 		for _, t := range merged[m] {
 			x.push(outVal, t)
 		}
-	})
-	return nil
+	}
 }

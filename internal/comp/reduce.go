@@ -4,34 +4,32 @@ import (
 	"slices"
 	"sort"
 
-	"sam/internal/graph"
 	"sam/internal/token"
 )
 
-// lowerReduce dispatches on the reducer dimension n (Definition 3.7):
+// stepReduce dispatches on the reducer dimension n (Definition 3.7):
 // scalar, vector and matrix reducers have specialized merged loops; deeper
-// reductions run the general n-dimensional accumulator.
-func (c *lowerer) lowerReduce(n *graph.Node) error {
-	switch n.RedN {
+// reductions run the general n-dimensional accumulator. Reducer slots
+// follow reducePorts order: RedN coordinate streams outermost first, then
+// values, on both sides.
+func stepReduce(si *StepIR) step {
+	switch si.RedN {
 	case 0:
-		return c.lowerScalarReduce(n)
+		return stepScalarReduce(si)
 	case 1:
-		return c.lowerVectorReduce(n)
+		return stepVectorReduce(si)
 	case 2:
-		return c.lowerMatrixReduce(n)
+		return stepMatrixReduce(si)
 	}
-	return c.lowerTensorReduce(n)
+	return stepTensorReduce(si)
 }
 
-// lowerScalarReduce sums every innermost group of a value stream, lowering
+// stepScalarReduce sums every innermost group of a value stream, lowering
 // stops by one level and emitting explicit zeros for empty groups.
-func (c *lowerer) lowerScalarReduce(n *graph.Node) error {
-	in, err := c.in(n, "val")
-	if err != nil {
-		return err
-	}
-	out := c.out(n, "val")
-	c.add(func(x *exec) {
+func stepScalarReduce(si *StepIR) step {
+	in := si.Ins[0]
+	out := si.Outs[0]
+	return func(x *exec) {
 		cv := x.cur(in)
 		acc := 0.0
 		for {
@@ -51,25 +49,17 @@ func (c *lowerer) lowerScalarReduce(n *graph.Node) error {
 				return
 			}
 		}
-	})
-	return nil
+	}
 }
 
-// lowerVectorReduce merges the fibers within each group of a paired
+// stepVectorReduce merges the fibers within each group of a paired
 // coordinate/value stream, emitting unique sorted coordinates with summed
 // values.
-func (c *lowerer) lowerVectorReduce(n *graph.Node) error {
-	inCrd, err := c.in(n, "crd")
-	if err != nil {
-		return err
-	}
-	inVal, err := c.in(n, "val")
-	if err != nil {
-		return err
-	}
-	outCrd, outVal := c.out(n, "crd"), c.out(n, "val")
-	name := n.Label
-	c.add(func(x *exec) {
+func stepVectorReduce(si *StepIR) step {
+	inCrd, inVal := si.Ins[0], si.Ins[1]
+	outCrd, outVal := si.Outs[0], si.Outs[1]
+	name := si.Label
+	return func(x *exec) {
 		cc, cv := x.cur(inCrd), x.cur(inVal)
 		acc := x.a.accMap()
 		for {
@@ -111,8 +101,7 @@ func (c *lowerer) lowerVectorReduce(n *graph.Node) error {
 				fail("%s: misaligned inputs %v vs %v", name, ct, v)
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // vecFlush emits one merged group of the vector reducer — unique sorted
@@ -135,23 +124,12 @@ func vecFlush(x *exec, acc map[int64]float64, outCrd, outVal, stop int) {
 	clear(acc)
 }
 
-// lowerMatrixReduce accumulates a two-level sub-tensor.
-func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
-	inOuter, err := c.in(n, "crd0")
-	if err != nil {
-		return err
-	}
-	inInner, err := c.in(n, "crd1")
-	if err != nil {
-		return err
-	}
-	inVal, err := c.in(n, "val")
-	if err != nil {
-		return err
-	}
-	outOuter, outInner, outVal := c.out(n, "crd0"), c.out(n, "crd1"), c.out(n, "val")
-	name := n.Label
-	c.add(func(x *exec) {
+// stepMatrixReduce accumulates a two-level sub-tensor.
+func stepMatrixReduce(si *StepIR) step {
+	inOuter, inInner, inVal := si.Ins[0], si.Ins[1], si.Ins[2]
+	outOuter, outInner, outVal := si.Outs[0], si.Outs[1], si.Outs[2]
+	name := si.Label
+	return func(x *exec) {
 		co, ci, cv := x.cur(inOuter), x.cur(inInner), x.cur(inVal)
 		acc := x.a.nestMap()
 		var curOuter int64
@@ -235,8 +213,7 @@ func (c *lowerer) lowerMatrixReduce(n *graph.Node) error {
 				fail("%s: misaligned inputs %v vs %v", name, ct, v)
 			}
 		}
-	})
-	return nil
+	}
 }
 
 // matFlush emits one merged group of the matrix reducer — rows in sorted
@@ -292,25 +269,19 @@ func packKey(crd []int64) string {
 	return string(b)
 }
 
-// lowerTensorReduce is the general n-dimensional reducer (n >= 3): n
+// stepTensorReduce is the general n-dimensional reducer (n >= 3): n
 // coordinate streams, outermost first, plus values. Stream pairing follows
 // core.TensorReducer: outer stream j is shallower by offset = n-1-j levels,
 // groups close at innermost stops of level >= n, and emission lowers every
 // group-closing stop by one level.
-func (c *lowerer) lowerTensorReduce(nd *graph.Node) error {
-	n := nd.RedN
-	inCrd, err := c.ins(nd, "crd", n)
-	if err != nil {
-		return err
-	}
-	inVal, err := c.in(nd, "val")
-	if err != nil {
-		return err
-	}
-	outCrd := c.outs(nd, "crd", n)
-	outVal := c.out(nd, "val")
-	name := nd.Label
-	c.add(func(x *exec) {
+func stepTensorReduce(si *StepIR) step {
+	n := si.RedN
+	inCrd := si.Ins[:n]
+	inVal := si.Ins[n]
+	outCrd := si.Outs[:n]
+	outVal := si.Outs[n]
+	name := si.Label
+	return func(x *exec) {
 		ic := x.curs(inCrd)
 		iv := x.cur(inVal)
 		acc := map[string]float64{}
@@ -445,6 +416,5 @@ func (c *lowerer) lowerTensorReduce(nd *graph.Node) error {
 				fail("%s: misaligned inputs %v vs %v", name, tc, tv)
 			}
 		}
-	})
-	return nil
+	}
 }

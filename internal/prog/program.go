@@ -1,0 +1,69 @@
+package prog
+
+import (
+	"sam/internal/bind"
+	"sam/internal/comp"
+	"sam/internal/tensor"
+)
+
+// Program is a loaded artifact: the decoded IR, the materialized compiled
+// program, and the canonical byte form. It carries everything execution
+// needs — operand bindings and output metadata travel inside the IR — so a
+// process that never saw the source graph can still bind inputs and run.
+// A Program is immutable and safe for concurrent Run calls.
+type Program struct {
+	ir  *comp.IR
+	cp  *comp.Program
+	enc []byte
+}
+
+// Load wraps an already-lowered IR as a Program, materializing it and
+// computing its canonical encoding. This is the in-process path (no decode):
+// sim uses it to build the artifact interpreter's program straight from a
+// compilation, guaranteeing the bytes it caches and the program it runs
+// agree.
+func Load(ir *comp.IR) (*Program, error) {
+	cp, err := comp.Materialize(ir)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ir: ir, cp: cp, enc: EncodeIR(ir)}, nil
+}
+
+// Bytes returns the canonical encoded artifact. The slice is shared, not
+// copied; callers must not mutate it.
+func (p *Program) Bytes() []byte { return p.enc }
+
+// IR returns the decoded intermediate form.
+func (p *Program) IR() *comp.IR { return p.ir }
+
+// Compiled returns the materialized compiled program backing the artifact.
+func (p *Program) Compiled() *comp.Program { return p.cp }
+
+// Fingerprint returns the source graph's fingerprint embedded at encode
+// time, the artifact's cache identity.
+func (p *Program) Fingerprint() string { return p.ir.Fingerprint }
+
+// Name returns the encoded graph name.
+func (p *Program) Name() string { return p.ir.Name }
+
+// Plan returns the operand binding plan reconstructed from the artifact's
+// embedded binding metadata.
+func (p *Program) Plan() *bind.Plan {
+	return bind.NewPlanFromParts(p.ir.Bindings, p.ir.OutputDims)
+}
+
+// Run binds the inputs against the artifact's embedded metadata and executes
+// the program, the graph-less equivalent of comp.RunGraph.
+func (p *Program) Run(inputs map[string]*tensor.COO) (*tensor.COO, error) {
+	plan := p.Plan()
+	bound, err := plan.Operands(inputs)
+	if err != nil {
+		return nil, err
+	}
+	dims, err := plan.OutputDims(inputs)
+	if err != nil {
+		return nil, err
+	}
+	return p.cp.Run(bound, dims)
+}

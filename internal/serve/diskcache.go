@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"sam/internal/prog"
+	"sam/internal/sim"
+)
+
+// diskCache is the persistent artifact store behind the in-memory program
+// LRU: canonical request key to an encoded program artifact (internal/prog)
+// on disk. A warm disk entry lets a cold process serve functional-engine
+// requests by decoding the artifact — no parse beyond keying, no custard
+// compilation, no optimizer, no lowering — which is the artifact format's
+// whole reason to exist.
+//
+// The store is best-effort by design: every failure mode (unreadable dir,
+// corrupt or truncated file, version skew, artifact-less bitvector graph)
+// degrades to a compile, never to a request error. Writes are atomic
+// (temp file + rename) so a concurrent loader never observes a partial
+// artifact, and corrupt files are deleted on sight so the next compile
+// heals the entry. Safe for concurrent use; all counters are atomic.
+type diskCache struct {
+	dir string
+
+	hits, misses, writes, errors atomic.Int64
+}
+
+// newDiskCache opens an artifact directory, creating it if needed. Creation
+// failure does not disable the store — a later mkdir may succeed, and every
+// store/load failure already degrades to a counted miss — so the constructor
+// never fails.
+func newDiskCache(dir string) *diskCache {
+	_ = os.MkdirAll(dir, 0o755)
+	return &diskCache{dir: dir}
+}
+
+// path maps a canonical request key to its artifact filename. The name
+// embeds the artifact format version, so builds that read different
+// versions never alias each other's files: a version bump turns the whole
+// store into clean misses instead of per-request decode errors.
+func (d *diskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, fmt.Sprintf("v%d-%x.sambc", prog.Version, sum[:12]))
+}
+
+// load resolves a key against the store. Any failure — absent file, corrupt
+// bytes, version skew inside the file, hostile structure — is a miss;
+// decode-level failures additionally count as errors and delete the file so
+// a later store rewrites a good copy.
+func (d *diskCache) load(key string) (*sim.Program, bool) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	bp, err := prog.Decode(data)
+	if err == nil {
+		var p *sim.Program
+		if p, err = sim.NewProgramFromArtifact(bp); err == nil {
+			d.hits.Add(1)
+			return p, true
+		}
+	}
+	d.errors.Add(1)
+	d.misses.Add(1)
+	_ = os.Remove(path)
+	return nil, false
+}
+
+// store persists a program's artifact under the key. Programs with no
+// artifact form (bitvector graphs, which the compiled lowering rejects) are
+// skipped silently; write failures count but never surface.
+func (d *diskCache) store(key string, p *sim.Program) {
+	art, err := p.Artifact()
+	if err != nil {
+		return
+	}
+	_ = os.MkdirAll(d.dir, 0o755)
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(art.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		d.errors.Add(1)
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		d.errors.Add(1)
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	d.writes.Add(1)
+}
+
+// stats snapshots the counters.
+func (d *diskCache) stats() (hits, misses, writes, errors int64) {
+	return d.hits.Load(), d.misses.Load(), d.writes.Load(), d.errors.Load()
+}
+
+// artifactEngine reports whether an engine request can be served by a
+// decoded artifact alone, without the source graph: the functional engines
+// share the compiled lowering the artifact serializes. The cycle engines
+// and the goroutine executor need the graph itself, so their requests skip
+// the disk cache entirely.
+func artifactEngine(kind sim.EngineKind) bool {
+	return kind == sim.EngineByte || kind == sim.EngineComp
+}

@@ -57,6 +57,14 @@ type Config struct {
 	// MaxBodyBytes bounds the request body; oversized payloads are rejected
 	// with 413 before decoding. Default 8 MiB.
 	MaxBodyBytes int64
+	// ArtifactDir, when non-empty, enables the persistent on-disk program
+	// cache: compiled programs are written as portable artifacts
+	// (internal/prog) keyed by canonical request key and format version, and
+	// functional-engine requests that miss the in-memory LRU are served by
+	// decoding the artifact instead of recompiling — a cold process with a
+	// warm disk skips parsing (beyond keying), custard, the optimizer, and
+	// lowering. Empty disables the disk cache (the default).
+	ArtifactDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +101,7 @@ const finishedCap = 4096
 type Server struct {
 	cfg     Config
 	cache   *programCache
+	disk    *diskCache // nil unless Config.ArtifactDir is set
 	queue   *queue
 	metrics *metrics
 	mux     *http.ServeMux
@@ -123,12 +132,14 @@ type job struct {
 
 // prepared is a validated, program-resolved request ready to simulate.
 type prepared struct {
-	prog     *sim.Program
-	inputs   map[string]*tensor.COO
-	opt      sim.Options
-	engine   string
-	cacheHit bool
-	setup    time.Duration
+	prog   *sim.Program
+	inputs map[string]*tensor.COO
+	opt    sim.Options
+	engine string
+	// cache records where the program came from: "hit" (in-memory LRU),
+	// "disk" (decoded from the artifact store), or "miss" (compiled).
+	cache string
+	setup time.Duration
 }
 
 // NewServer builds a service with the given sizing; zero fields take
@@ -140,6 +151,9 @@ func NewServer(cfg Config) *Server {
 		cache:   newProgramCache(cfg.CacheSize),
 		metrics: &metrics{},
 		jobs:    map[string]*job{},
+	}
+	if cfg.ArtifactDir != "" {
+		s.disk = newDiskCache(cfg.ArtifactDir)
 	}
 	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, cfg.BatchMax, s.runBatch)
 	mux := http.NewServeMux()
@@ -198,23 +212,62 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 			}
 		}
 	}
-	key := lang.CanonicalKey(e, formats, sched)
-	prog, hit := s.cache.get(key)
-	if !hit {
+	// compile builds the program from source; shared by the miss path and
+	// the artifact self-heal below.
+	compile := func() (*sim.Program, error) {
 		g, err := custard.Compile(e, formats, sched)
 		if err != nil {
 			return nil, err
 		}
-		if prog, err = sim.NewProgram(g); err != nil {
-			return nil, err
+		return sim.NewProgram(g)
+	}
+	key := lang.CanonicalKey(e, formats, sched)
+	prog, hit := s.cache.get(key)
+	source := "hit"
+	if !hit {
+		source = "miss"
+		// Functional-engine requests can be served straight off a persisted
+		// artifact: decoding replaces custard, the optimizer, and lowering.
+		// Other engines need the source graph, so they skip the disk.
+		if s.disk != nil && artifactEngine(opt.Engine) {
+			if p, ok := s.disk.load(key); ok {
+				prog, source = p, "disk"
+			}
+		}
+		if prog == nil {
+			var err error
+			if prog, err = compile(); err != nil {
+				return nil, err
+			}
+			if s.disk != nil {
+				// Write-behind the artifact so a later cold process (or this
+				// one after eviction) can skip the compile we just paid.
+				// Best-effort: bitvector graphs have no artifact form.
+				s.disk.store(key, prog)
+			}
 		}
 		s.cache.put(key, prog)
 	}
-	setup := time.Since(begin)
 
 	if err := prog.CheckEngine(opt.Engine); err != nil {
-		return nil, err
+		// Self-heal: an artifact-backed program (loaded from disk by an
+		// earlier functional-engine request) cannot serve cycle or flow
+		// engines — but the request carries the source, so recompile and
+		// replace the cached entry instead of bouncing the caller.
+		if prog.Graph() != nil {
+			return nil, err
+		}
+		var cerr error
+		if prog, cerr = compile(); cerr != nil {
+			return nil, cerr
+		}
+		s.cache.put(key, prog)
+		source = "miss"
+		if err := prog.CheckEngine(opt.Engine); err != nil {
+			return nil, err
+		}
 	}
+	setup := time.Since(begin)
 	inputs, err := decodeInputs(e, req.Inputs)
 	if err != nil {
 		return nil, err
@@ -225,7 +278,7 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 	}
 	return &prepared{
 		prog: prog, inputs: inputs, opt: opt, engine: engine,
-		cacheHit: hit, setup: setup,
+		cache: source, setup: setup,
 	}, nil
 }
 
@@ -353,7 +406,7 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 			Cycles:      res.Cycles,
 			Output:      fromCOO(res.Output),
 			Fingerprint: j.prep.prog.Fingerprint(),
-			Cache:       map[bool]string{true: "hit", false: "miss"}[j.prep.cacheHit],
+			Cache:       j.prep.cache,
 			Engine:      executed,
 			Requested:   j.prep.engine,
 			SetupNS:     j.prep.setup.Nanoseconds(),
@@ -383,13 +436,22 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Requests        int64   `json:"requests"`
-	Rejected        int64   `json:"rejected"`
-	Failures        int64   `json:"failures"`
-	CacheHits       int64   `json:"cache_hits"`
-	CacheMisses     int64   `json:"cache_misses"`
-	CacheEvictions  int64   `json:"cache_evictions"`
-	CachePrograms   int     `json:"cache_programs"`
+	Requests       int64 `json:"requests"`
+	Rejected       int64 `json:"rejected"`
+	Failures       int64 `json:"failures"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CachePrograms  int   `json:"cache_programs"`
+	// Disk* report the persistent artifact store (Config.ArtifactDir): hits
+	// are programs decoded from disk instead of compiled, misses are lookups
+	// that fell through to the compiler, writes are artifacts persisted, and
+	// errors count corrupt/unwritable files (corrupt artifacts are deleted
+	// and recount as misses). All zero when the disk cache is disabled.
+	DiskHits        int64   `json:"disk_hits"`
+	DiskMisses      int64   `json:"disk_misses"`
+	DiskWrites      int64   `json:"disk_writes"`
+	DiskErrors      int64   `json:"disk_errors"`
 	QueueDepth      int     `json:"queue_depth"`
 	Workers         int     `json:"workers"`
 	CyclesSimulated int64   `json:"cycles_simulated"`
@@ -408,13 +470,17 @@ func (s *Server) Stats() StatsResponse {
 	hits, misses, evictions, size := s.cache.stats()
 	p50, p99 := s.metrics.percentiles()
 	engineRuns, fallbacks := s.metrics.engines()
-	return StatsResponse{
+	resp := StatsResponse{
 		Requests: requests, Rejected: rejected, Failures: failures,
 		CacheHits: hits, CacheMisses: misses, CacheEvictions: evictions,
 		CachePrograms: size, QueueDepth: s.queue.depth(), Workers: s.cfg.Workers,
 		CyclesSimulated: cycles, LatencyP50MS: p50, LatencyP99MS: p99,
 		EngineRuns: engineRuns, EngineFallbacks: fallbacks,
 	}
+	if s.disk != nil {
+		resp.DiskHits, resp.DiskMisses, resp.DiskWrites, resp.DiskErrors = s.disk.stats()
+	}
+	return resp
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {

@@ -43,10 +43,12 @@ type WireSchedule struct {
 
 // WireOptions carries the per-request simulation options.
 type WireOptions struct {
-	// Engine selects the executor: "event" (default), "naive", "flow", or
-	// "comp" (the compiled co-iteration engine; graphs it cannot lower run
-	// on the event engine, reported in the response's engine field and the
-	// engine_fallbacks counter).
+	// Engine selects the executor: "event" (default), "naive", "flow",
+	// "comp" (the compiled co-iteration engine), or "byte" (the portable-
+	// artifact interpreter; with an artifact dir configured, byte and comp
+	// requests can be served from the disk cache without recompiling).
+	// Graphs comp/byte cannot lower run on the event engine, reported in
+	// the response's engine field and the engine_fallbacks counter.
 	Engine string `json:"engine,omitempty"`
 	// MaxCycles aborts runaway simulations; 0 means the engine default.
 	MaxCycles int `json:"max_cycles,omitempty"`
@@ -70,8 +72,9 @@ type EvaluateResponse struct {
 	Output WireTensor `json:"output"`
 	// Fingerprint is the compiled graph's canonical fingerprint.
 	Fingerprint string `json:"fingerprint"`
-	// Cache reports whether the compiled program was reused: "hit" or
-	// "miss".
+	// Cache reports where the compiled program came from: "hit" (in-memory
+	// LRU), "disk" (decoded from the persistent artifact store), or "miss"
+	// (compiled for this request).
 	Cache string `json:"cache"`
 	// Engine names the executor that actually ran the request; it differs
 	// from Requested only when the compiled engine fell back to the event

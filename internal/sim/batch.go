@@ -26,20 +26,24 @@ type Job struct {
 	Inputs map[string]*tensor.COO
 }
 
-// graphOf returns the graph the job will execute, from either field.
-func (j Job) graphOf() *graph.Graph {
+// nameOf returns the job's graph or program name, or "" when neither is set.
+// Artifact-backed programs have no graph but still carry their encoded name.
+func (j Job) nameOf() string {
 	if j.Program != nil {
-		return j.Program.g
+		return j.Program.name()
 	}
-	return j.Graph
+	if j.Graph != nil {
+		return j.Graph.Name
+	}
+	return ""
 }
 
 func (j Job) label(i int) string {
 	if j.Name != "" {
 		return j.Name
 	}
-	if g := j.graphOf(); g != nil {
-		return g.Name
+	if n := j.nameOf(); n != "" {
+		return n
 	}
 	return fmt.Sprintf("job %d", i)
 }
@@ -82,22 +86,24 @@ func RunBatchErrs(jobs []Job, opt Options) ([]*Result, []error, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				g := j.graphOf()
-				if g == nil {
-					errs[i] = fmt.Errorf("sim: %s: nil graph", j.label(i))
-					continue
-				}
 				var res *Result
 				var err error
-				if j.Program != nil {
+				switch {
+				case j.Program != nil:
+					// Artifact-backed programs have no graph but run fine
+					// on the functional engines; engine checks own the
+					// rejection for the ones that need the graph.
 					res, err = eng.RunProgram(j.Program, j.Inputs, opt)
-				} else {
-					res, err = eng.Run(g, j.Inputs, opt)
+				case j.Graph != nil:
+					res, err = eng.Run(j.Graph, j.Inputs, opt)
+				default:
+					errs[i] = fmt.Errorf("sim: %s: nil graph", j.label(i))
+					continue
 				}
 				if err != nil {
 					// Engine errors already carry a "sim: <graph>" prefix;
 					// add only the job label, and only when it adds signal.
-					if j.Name != "" && j.Name != g.Name {
+					if j.Name != "" && j.Name != j.nameOf() {
 						err = fmt.Errorf("%s: %w", j.Name, err)
 					}
 					errs[i] = err

@@ -46,12 +46,27 @@ const (
 	// to the event engine transparently, recorded in Result.Engine, so
 	// CheckEngine always accepts it.
 	EngineComp EngineKind = "comp"
+	// EngineByte is the portable-artifact interpreter from internal/prog:
+	// the graph's compiled lowering is serialized to the versioned byte
+	// format (prog.Encode), decoded back (prog.Decode), and executed as a
+	// flat dispatch loop over the decoded step table. It shares the comp
+	// engine's lowering and closure bodies, so outputs are bit-identical to
+	// EngineComp (and so to the cycle engines) by construction; what it
+	// adds is that the program can cross a process boundary — samsim
+	// -emit/-load round-trips artifacts to files and serve's disk cache
+	// loads them without re-running custard, the optimizer or lowering.
+	//
+	// Like EngineComp it computes outputs only (Result.Cycles is zero, no
+	// stream statistics) and falls back to the event engine for graphs
+	// outside the compiled block set (the bitvector pipeline), so
+	// CheckEngine always accepts it on graph-backed programs.
+	EngineByte EngineKind = "byte"
 )
 
 // Engines lists every registered engine kind, in the order user-facing
 // messages should print them.
 func Engines() []EngineKind {
-	return []EngineKind{EngineEvent, EngineNaive, EngineFlow, EngineComp}
+	return []EngineKind{EngineEvent, EngineNaive, EngineFlow, EngineComp, EngineByte}
 }
 
 // engineList renders the registered engines for error messages.
@@ -122,6 +137,8 @@ func EngineFor(kind EngineKind) (Engine, error) {
 		return flowEngine{}, nil
 	case EngineComp:
 		return compEngine{}, nil
+	case EngineByte:
+		return byteEngine{}, nil
 	}
 	return nil, fmt.Errorf("sim: unknown engine %q (registered engines: %s)", kind, engineList())
 }
@@ -143,6 +160,9 @@ func (e cycleEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Opti
 }
 
 func (e cycleEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	if p.g == nil {
+		return nil, p.CheckEngine(e.kind)
+	}
 	if opt.MaxCycles == 0 {
 		opt.MaxCycles = 2_000_000_000
 	}
@@ -222,12 +242,49 @@ func (e compEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 		// accepts every graph; the Result's Engine field records the
 		// fallback. Any other lowering failure on a supported graph is a
 		// comp bug and must surface, not be papered over by a silently
-		// different engine.
-		if comp.Check(p.g) != nil {
+		// different engine. (Artifact-backed programs have the compiled
+		// program pre-set and never reach here.)
+		if p.g != nil && comp.Check(p.g) != nil {
 			return cycleEngine{kind: EngineEvent}.RunProgram(p, inputs, opt)
 		}
-		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
+		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
 	}
+	return runCompiled(p, cp, inputs, EngineComp)
+}
+
+// byteEngine adapts the portable-artifact interpreter (internal/prog) to
+// the Engine interface. The program's artifact form is built (or, for
+// artifact-backed programs, was decoded) once and reused; graphs outside
+// the compiled block set fall back to the event engine, mirroring
+// compEngine, with the Result recording which engine actually ran.
+type byteEngine struct{}
+
+func (byteEngine) Name() string { return string(EngineByte) }
+
+func (e byteEngine) Run(g *graph.Graph, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	p, err := NewProgram(g)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunProgram(p, inputs, opt)
+}
+
+func (e byteEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Options) (*Result, error) {
+	bp, err := p.byteProgram()
+	if err != nil {
+		if p.g != nil && comp.Check(p.g) != nil {
+			return cycleEngine{kind: EngineEvent}.RunProgram(p, inputs, opt)
+		}
+		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
+	}
+	return runCompiled(p, bp.Compiled(), inputs, EngineByte)
+}
+
+// runCompiled is the shared functional-engine run core: bind operands
+// through the program's plan, execute the compiled program, wrap the
+// result. comp and byte differ only in where the compiled program came
+// from — a direct lowering or a decoded artifact.
+func runCompiled(p *Program, cp *comp.Program, inputs map[string]*tensor.COO, kind EngineKind) (*Result, error) {
 	bound, err := p.plan.Operands(inputs)
 	if err != nil {
 		return nil, err
@@ -238,7 +295,7 @@ func (e compEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 	}
 	out, err := cp.Run(bound, dims)
 	if err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
+		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
 	}
-	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineComp}, nil
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: kind}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sam/internal/bind"
 	"sam/internal/comp"
 	"sam/internal/graph"
+	"sam/internal/prog"
 	"sam/internal/tensor"
 )
 
@@ -36,6 +37,16 @@ type Program struct {
 	compOnce sync.Once
 	compProg *comp.Program
 	compErr  error
+
+	// The byte-artifact form (internal/prog) is built lazily on the first
+	// byte-engine run or Artifact call: the graph is lowered, encoded to
+	// the portable byte format, and decoded back, so the interpreter
+	// genuinely executes the decoded bytes — the same object a cross-
+	// process load would produce. Artifact-backed programs (see
+	// NewProgramFromArtifact) have byteProg pre-set and no graph.
+	byteOnce sync.Once
+	byteProg *prog.Program
+	byteErr  error
 
 	// labels holds each edge's producer-side "node/port" stream label.
 	labels []string
@@ -78,8 +89,46 @@ func NewProgram(g *graph.Graph) (*Program, error) {
 	return p, nil
 }
 
-// Graph returns the compiled graph the program executes.
+// NewProgramFromArtifact wraps a loaded byte artifact as a Program with no
+// source graph. The artifact's embedded metadata supplies the fingerprint
+// and the binding plan, and both functional engines are available: the byte
+// interpreter runs the decoded program directly and the comp engine reuses
+// its materialized closures (they are the same object — the artifact format
+// is the serialized form of comp's lowering). The cycle engines and the
+// goroutine executor need the graph itself and report a descriptive error
+// through CheckEngine/Run.
+func NewProgramFromArtifact(bp *prog.Program) (*Program, error) {
+	if bp == nil {
+		return nil, fmt.Errorf("sim: nil artifact")
+	}
+	p := &Program{
+		fp:   bp.Fingerprint(),
+		plan: bp.Plan(),
+		flowErr: fmt.Errorf("sim: engine %q cannot run artifact-backed program %q: the goroutine executor needs the source graph (artifact engines: %q, %q)",
+			EngineFlow, bp.Name(), EngineByte, EngineComp),
+		byteProg: bp,
+		compProg: bp.Compiled(),
+	}
+	p.byteOnce.Do(func() {})
+	p.compOnce.Do(func() {})
+	return p, nil
+}
+
+// Graph returns the compiled graph the program executes, or nil for
+// artifact-backed programs (see NewProgramFromArtifact).
 func (p *Program) Graph() *graph.Graph { return p.g }
+
+// name returns the program's graph name for error messages, whichever form
+// backs it.
+func (p *Program) name() string {
+	if p.g != nil {
+		return p.g.Name
+	}
+	if p.byteProg != nil {
+		return p.byteProg.Name()
+	}
+	return "<program>"
+}
 
 // compProgram returns the program's compiled-engine lowering, building it on
 // first use. An error means the graph is outside the compiled block set and
@@ -89,6 +138,29 @@ func (p *Program) compProgram() (*comp.Program, error) {
 		p.compProg, p.compErr = comp.Compile(p.g)
 	})
 	return p.compProg, p.compErr
+}
+
+// byteProgram returns the program's byte-artifact form, building it on
+// first use via a full encode→decode round trip. An error means the graph
+// is outside the compiled block set and the byte engine must fall back to
+// the event engine, exactly like compProgram.
+func (p *Program) byteProgram() (*prog.Program, error) {
+	p.byteOnce.Do(func() {
+		enc, err := prog.Encode(p.g)
+		if err != nil {
+			p.byteErr = err
+			return
+		}
+		p.byteProg, p.byteErr = prog.Decode(enc)
+	})
+	return p.byteProg, p.byteErr
+}
+
+// Artifact returns the program's portable byte-artifact form (building it
+// on first use), the unit the serving disk cache and samsim -emit persist.
+// Graphs outside the compiled block set have no artifact form and error.
+func (p *Program) Artifact() (*prog.Program, error) {
+	return p.byteProgram()
 }
 
 // Fingerprint returns the graph's canonical fingerprint (see
@@ -105,6 +177,14 @@ func (p *Program) CheckEngine(kind EngineKind) error {
 	}
 	if kind == EngineFlow {
 		return p.flowErr
+	}
+	if p.g == nil {
+		switch kind {
+		case EngineByte, EngineComp:
+		default:
+			return fmt.Errorf("sim: engine %q cannot run an artifact-backed program: cycle engines need the source graph (artifact engines: %q, %q)",
+				kind, EngineByte, EngineComp)
+		}
 	}
 	return nil
 }

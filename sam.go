@@ -14,7 +14,7 @@
 //	res, err := sam.Simulate(g, sam.Inputs{"B": b, "c": c}, sam.Options{})
 //	fmt.Println(res.Cycles, res.Output)
 //
-// Simulation runs on one of four engines selected by Options.Engine: the
+// Simulation runs on one of five engines selected by Options.Engine: the
 // default event-driven ready-set scheduler (EngineEvent), which ticks only
 // blocks with newly visible input, freed backpressure space, or pending
 // internal work; the naive tick-all reference loop (EngineNaive), which is
@@ -23,13 +23,30 @@
 // engine (EngineComp), which lowers the graph once into a tree of Go
 // closures that walk the bound fibertree storage directly — no token
 // queues, no per-cycle scheduling — and is the fastest way to compute a
-// kernel's output. EngineFlow's limitations are documented on the
+// kernel's output; and the artifact interpreter (EngineByte), which runs
+// the same lowering from a portable serialized artifact through a flat
+// dispatch loop — the engine behind programs loaded from .sambc files.
+// EngineFlow's limitations are documented on the
 // sim.EngineFlow constant (re-exported here): it computes outputs only —
 // no cycle counts, no stream statistics — and rejects graphs using gallop
-// or bitvector blocks up front via CheckEngine. EngineComp also computes
-// outputs only, but never rejects a graph: the bitvector pipeline (the one
-// block family it cannot lower) falls back to the event engine
-// transparently, recorded in Result.Engine.
+// or bitvector blocks up front via CheckEngine. EngineComp and EngineByte
+// also compute outputs only, but never reject a graph: the bitvector
+// pipeline (the one block family they cannot lower) falls back to the
+// event engine transparently, recorded in Result.Engine.
+//
+// # Artifacts
+//
+// EncodeProgram serializes a compiled graph's lowered program into a
+// versioned, checksummed, canonical byte artifact; DecodeProgram loads one
+// into a runnable Program in a process that never saw the source graph —
+// the cross-process analogue of NewProgram. Artifact-backed programs run
+// on the functional engines (EngineByte by default, EngineComp); engines
+// needing the source graph (cycle counts, the flow executor) reject them
+// up front. samsim -emit/-load round-trips artifacts on the command line,
+// and samserve -artifacts persists every compiled program to a disk cache
+// keyed by the canonical request key and format version, so a restarted
+// server decodes instead of recompiling (see the README's Artifacts
+// section for the format layout, versioning rules, and cache semantics).
 //
 // # Serving
 //
@@ -100,6 +117,7 @@ import (
 	"sam/internal/graph"
 	"sam/internal/lang"
 	"sam/internal/opt"
+	"sam/internal/prog"
 	"sam/internal/serve"
 	"sam/internal/sim"
 	"sam/internal/tensor"
@@ -150,13 +168,15 @@ type EngineKind = sim.EngineKind
 
 // The available engines: the default event-driven ready-set scheduler, the
 // naive tick-all reference loop, the goroutine-per-block functional
-// executor, and the compiled co-iteration engine (outputs bit-identical to
-// the cycle engines; graphs it cannot lower fall back to the event engine).
+// executor, the compiled co-iteration engine, and the artifact interpreter
+// (outputs bit-identical to the cycle engines; graphs the functional
+// engines cannot lower fall back to the event engine).
 const (
 	EngineEvent = sim.EngineEvent
 	EngineNaive = sim.EngineNaive
 	EngineFlow  = sim.EngineFlow
 	EngineComp  = sim.EngineComp
+	EngineByte  = sim.EngineByte
 )
 
 // Engines lists every registered engine kind.
@@ -270,6 +290,29 @@ func CompileProgram(expr string, formats Formats, sched Schedule) (*Program, err
 		return nil, err
 	}
 	return sim.NewProgram(g)
+}
+
+// EncodeProgram serializes a compiled graph's lowered program into the
+// portable artifact format (internal/prog): a versioned, CRC-checksummed
+// byte form carrying the step bytecode, flat dispatch tables, operand
+// bindings, and output metadata — everything a process without the source
+// graph needs to run it. Encoding is canonical: one graph always produces
+// the identical bytes, so artifacts can be cached and compared by content.
+func EncodeProgram(g *Graph) ([]byte, error) { return prog.Encode(g) }
+
+// DecodeProgram loads an encoded artifact into a runnable Program, the
+// cross-process counterpart of NewProgram. Corrupt, truncated, or
+// version-skewed bytes fail with a descriptive error, never a panic. The
+// loaded Program carries no source graph: set Options.Engine to EngineByte
+// (or EngineComp) when running it — engines that need the graph (the cycle
+// engines' default included, and the flow executor) reject it up front
+// with a descriptive error.
+func DecodeProgram(data []byte) (*Program, error) {
+	bp, err := prog.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewProgramFromArtifact(bp)
 }
 
 // NewServer builds a SAM program service with the given sizing; zero

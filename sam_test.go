@@ -1,6 +1,7 @@
 package sam
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
 	"net/http"
@@ -175,6 +176,60 @@ func TestFacadeEngines(t *testing.T) {
 	}
 	if _, err := Simulate(g, inputs, Options{Engine: "warp"}); err == nil {
 		t.Error("unknown engine not surfaced")
+	}
+}
+
+// TestFacadeArtifacts exercises the artifact surface: EncodeProgram is
+// deterministic, DecodeProgram yields a graph-less Program that runs on the
+// byte engine with output identical to the event engine on the source graph,
+// and engines needing the graph reject it.
+func TestFacadeArtifacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	B := RandomTensor("B", rng, 150, 40, 30)
+	c := RandomTensor("c", rng, 15, 30)
+	inputs := Inputs{"B": B, "c": c}
+
+	g, err := Compile("x(i) = B(i,j) * c(j)", nil, Schedule{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Error("two encodings of one graph differ")
+	}
+	p, err := DecodeProgram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint() != g.Fingerprint() {
+		t.Errorf("artifact fingerprint %q differs from graph %q", p.Fingerprint(), g.Fingerprint())
+	}
+	want, err := Simulate(g, inputs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Run(inputs, Options{Engine: EngineByte})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Engine != EngineByte {
+		t.Errorf("artifact ran on %q, want byte", got.Engine)
+	}
+	if err := Equal(got.Output, want.Output, 0); err != nil {
+		t.Errorf("artifact output differs from event: %v", err)
+	}
+	if _, err := p.Run(inputs, Options{Engine: EngineEvent}); err == nil {
+		t.Error("cycle engine accepted an artifact-backed program")
+	}
+	if _, err := DecodeProgram(enc[:len(enc)/2]); err == nil {
+		t.Error("DecodeProgram accepted truncated bytes")
 	}
 }
 
