@@ -28,7 +28,9 @@
 // prints the registered engine list, the flow engine rejects graphs it
 // cannot run (gallop/bitvector blocks), engines without a cycle model
 // (flow, comp, byte) reject -queue with a clear error up front instead of
-// silently ignoring it, and -O rejects levels the optimizer does not know.
+// silently ignoring it, -O rejects levels the optimizer does not know, and
+// -load rejects the compilation-shaping flags (-O, -par, -skip, -locate,
+// -order, -dot) that a pre-compiled artifact would otherwise ignore.
 package main
 
 import (
@@ -87,6 +89,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *load != "" && *emit != "" {
 		return fail(fmt.Errorf("-emit writes a fresh compilation; it cannot be combined with -load"))
+	}
+	if *load != "" {
+		// An artifact is already compiled, scheduled and optimized; flags
+		// that shape compilation would be silently ignored, so reject them
+		// the same way the -expr/-emit/-queue combinations are.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"O", "par", "skip", "locate", "order", "dot"} {
+			if set[name] {
+				return fail(fmt.Errorf("-%s shapes compilation and has no effect on a pre-compiled artifact (drop -%s in -load mode)", name, name))
+			}
+		}
 	}
 	if *load == "" && *expr == "" {
 		fmt.Fprintln(stderr, "samsim: -expr is required")

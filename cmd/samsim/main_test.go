@@ -229,6 +229,12 @@ func TestFlagCombinationValidation(t *testing.T) {
 		{[]string{"-expr", "x(i) = b(i) * c(i)", "-O", "-1"}, "unknown -O level -1"},
 		{[]string{"-expr", "x(i) = b(i)", "-load", "a.sambc"}, "-load"},
 		{[]string{"-load", "a.sambc", "-emit", "b.sambc"}, "-emit"},
+		{[]string{"-load", "a.sambc", "-O", "1"}, "-O shapes compilation"},
+		{[]string{"-load", "a.sambc", "-par", "4"}, "-par shapes compilation"},
+		{[]string{"-load", "a.sambc", "-skip"}, "-skip shapes compilation"},
+		{[]string{"-load", "a.sambc", "-locate"}, "-locate shapes compilation"},
+		{[]string{"-load", "a.sambc", "-order", "i,j"}, "-order shapes compilation"},
+		{[]string{"-load", "a.sambc", "-dot"}, "-dot shapes compilation"},
 	}
 	for _, c := range cases {
 		var stdout, stderr bytes.Buffer

@@ -96,7 +96,7 @@ func (p *Plan) OutputDims(inputs map[string]*tensor.COO) ([]int, error) {
 		if !ok {
 			return nil, fmt.Errorf("bind: output dimension references unbound tensor %q", d.Tensor)
 		}
-		if d.Mode >= src.Order() {
+		if d.Mode < 0 || d.Mode >= src.Order() {
 			return nil, fmt.Errorf("bind: output dimension references mode %d of order-%d tensor %q", d.Mode, src.Order(), d.Tensor)
 		}
 		dims = append(dims, src.Dims[d.Mode])

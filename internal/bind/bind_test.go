@@ -133,6 +133,10 @@ func TestOutputDims(t *testing.T) {
 	if _, err := OutputDims(bad, inputs); err == nil {
 		t.Error("out-of-range mode accepted")
 	}
+	neg := &graph.Graph{OutputDims: []graph.DimRef{{Tensor: "B", Mode: -5}}}
+	if _, err := OutputDims(neg, inputs); err == nil {
+		t.Error("negative mode accepted")
+	}
 }
 
 func keys(m map[string]*fiber.Tensor) []string {

@@ -220,6 +220,46 @@ func (ir *IR) Validate() error {
 			return fmt.Errorf("comp: ir: coordinate writer %q slot %d outside stream table of %d", w.Label, w.Slot, ir.NSlot)
 		}
 	}
+	return ir.validateMetadata()
+}
+
+// validateMetadata checks the graph metadata carried alongside the step
+// list — output variables, dimension references, and operand bindings — so
+// that Materialize's permutation precompute and bind's run-time lookups can
+// index by them without bounds checks of their own.
+func (ir *IR) validateMetadata() error {
+	// LHSVars is the output variable set in declaration order and OutputVars
+	// the same set in loop order; Materialize sizes the permutation by one
+	// and indexes it by the other, so the lengths must agree and the
+	// variables must be distinct.
+	if len(ir.LHSVars) != len(ir.OutputVars) {
+		return fmt.Errorf("comp: ir: %d left-hand-side variables for %d output variables", len(ir.LHSVars), len(ir.OutputVars))
+	}
+	for _, vars := range [][]string{ir.OutputVars, ir.LHSVars} {
+		seen := make(map[string]bool, len(vars))
+		for _, v := range vars {
+			if seen[v] {
+				return fmt.Errorf("comp: ir: duplicate output variable %q", v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, d := range ir.OutputDims {
+		if d.Mode < 0 {
+			return fmt.Errorf("comp: ir: output dimension references negative mode %d of tensor %q", d.Mode, d.Tensor)
+		}
+	}
+	for i := range ir.Bindings {
+		b := &ir.Bindings[i]
+		if len(b.Formats) != len(b.ModeOrder) {
+			return fmt.Errorf("comp: ir: binding %q has %d formats for %d modes", b.Operand, len(b.Formats), len(b.ModeOrder))
+		}
+		for _, m := range b.ModeOrder {
+			if m < 0 || m >= len(b.ModeOrder) {
+				return fmt.Errorf("comp: ir: binding %q mode order entry %d outside [0, %d)", b.Operand, m, len(b.ModeOrder))
+			}
+		}
+	}
 	return nil
 }
 

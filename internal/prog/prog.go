@@ -35,6 +35,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 
 	"sam/internal/comp"
 	"sam/internal/fiber"
@@ -334,7 +335,7 @@ func (d *decoder) num() int {
 		return 0
 	}
 	d.buf = d.buf[n:]
-	if v < -1<<31 || v > 1<<31 {
+	if v < math.MinInt32 || v > math.MaxInt32 {
 		d.fail("integer %d outside sane range", v)
 		return 0
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"sam/internal/comp"
 	"sam/internal/custard"
 	"sam/internal/graph"
 	"sam/internal/lang"
@@ -146,6 +147,63 @@ func TestDecodeErrors(t *testing.T) {
 				t.Fatalf("Decode accepted %s bytes (program %q)", tc.name, p.Name())
 			}
 			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeHostileMetadata re-encodes a valid IR with corrupted graph
+// metadata — the tables Materialize and bind index by — behind a valid CRC,
+// and demands Decode reject each one with an error, never a panic. These are
+// exactly the payloads a checksum cannot catch: structurally well-formed
+// bytes whose semantics are hostile.
+func TestDecodeHostileMetadata(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(ir *comp.IR)
+		want   string // substring of the error
+	}{
+		{"lhs-longer-than-output", func(ir *comp.IR) {
+			// The permutation is sized by OutputVars but walked by LHSVars;
+			// this shape used to panic Materialize with an index out of range.
+			ir.OutputVars = []string{"i"}
+			ir.LHSVars = []string{"i", "i"}
+		}, "left-hand-side"},
+		{"lhs-shorter-than-output", func(ir *comp.IR) {
+			ir.LHSVars = ir.LHSVars[:0]
+		}, "left-hand-side"},
+		{"duplicate-output-var", func(ir *comp.IR) {
+			ir.OutputVars = []string{"i", "i"}
+			ir.LHSVars = []string{"i", "j"}
+		}, "duplicate"},
+		{"negative-output-dim-mode", func(ir *comp.IR) {
+			ir.OutputDims = []graph.DimRef{{Tensor: "B", Mode: -5}}
+		}, "negative mode"},
+		{"negative-binding-mode", func(ir *comp.IR) {
+			ir.Bindings[0].ModeOrder[0] = -1
+		}, "mode order"},
+		{"binding-mode-out-of-range", func(ir *comp.IR) {
+			ir.Bindings[0].ModeOrder[0] = 7
+		}, "mode order"},
+		{"binding-format-count-mismatch", func(ir *comp.IR) {
+			b := &ir.Bindings[0]
+			b.Formats = append(b.Formats, b.Formats[0])
+		}, "formats"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := compile(t, "x(i) = B(i,j) * c(j)", lang.Schedule{})
+			ir, err := comp.Lower(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(ir)
+			p, err := prog.Decode(prog.EncodeIR(ir))
+			if err == nil {
+				t.Fatalf("Decode accepted hostile metadata (program %q)", p.Name())
+			}
+			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
