@@ -37,5 +37,31 @@ grep -q '"comp":1' stats.json
 grep -q '"event":1' stats.json
 grep -q '"engine_fallbacks":0' stats.json
 
+# Same request with ?trace=1: the response carries a trace id and a
+# non-empty span breakdown.
+curl -sf -X POST '127.0.0.1:8345/v1/evaluate?trace=1' \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate-comp.json | tee smoke-trace.json
+grep -q '"trace_id":"t' smoke-trace.json
+grep -q '"trace":\[{' smoke-trace.json
+grep -q '"name":"run"' smoke-trace.json
+
+# Prometheus exposition: the registry families with their labels, and at
+# least one cumulative histogram bucket line.
+curl -sf 127.0.0.1:8345/metrics | tee metrics.txt
+grep -q '^sam_http_requests_total{endpoint="/v1/evaluate",status="200"}' metrics.txt
+grep -q '^sam_engine_runs_total{engine="comp"} ' metrics.txt
+grep -q '^sam_engine_runs_total{engine="event"} ' metrics.txt
+grep -q '^sam_cache_resolutions_total{tier="compile"} 1' metrics.txt
+grep -q '^sam_request_duration_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"}' metrics.txt
+grep -q '^sam_request_duration_seconds_count{endpoint="/v1/evaluate"}' metrics.txt
+grep -q '^sam_phase_duration_seconds_bucket{phase="queue_wait",le="+Inf"}' metrics.txt
+
+# pprof stays off without -pprof.
+if curl -sf 127.0.0.1:8345/debug/pprof/cmdline > /dev/null; then
+  echo "pprof reachable without -pprof" >&2
+  exit 1
+fi
+
 kill -INT "$SERVER"
 wait "$SERVER"

@@ -15,10 +15,11 @@
 //	sambench -exp comp -json > BENCH_PR5.json  # compiled-engine speedup study
 //	sambench -exp throughput -json > BENCH_PR6.json # lane/pool/batch throughput study
 //	sambench -exp artifact -json > BENCH_PR7.json # program-artifact encode/decode/serve study
+//	sambench -exp obs -json > BENCH_PR8.json   # observability-cost study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
 // fig15, pointlevel, engines, parallel, serve, opt, comp, throughput,
-// artifact.
+// artifact, obs.
 package main
 
 import (
@@ -37,7 +38,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact", "obs"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -260,6 +261,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderArtifact(res), res, nil
+	case "obs":
+		res, err := experiments.ObsStudy(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderObs(res), res, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

@@ -8,13 +8,17 @@
 //	samserve                          # listen on :8345 with defaults
 //	samserve -addr 127.0.0.1:9000 -workers 8 -queue 256 -cache 512 -batch 4
 //	samserve -artifacts /var/cache/sam    # persistent on-disk program cache
+//	samserve -pprof -logrequests          # profiling endpoints + access log
 //
-// Endpoints (see the README's Serving section for a curl walkthrough):
+// Endpoints (see the README's Serving and Observability sections for a curl
+// walkthrough):
 //
-//	POST /v1/evaluate   synchronous evaluation
+//	POST /v1/evaluate   synchronous evaluation (?trace=1 for a span breakdown)
 //	POST /v1/jobs       asynchronous submission; returns a job id
 //	GET  /v1/jobs/{id}  job status and result
 //	GET  /v1/stats      cache, queue, cycle, and latency counters
+//	GET  /metrics       Prometheus text exposition of the same counters
+//	GET  /debug/pprof/  net/http/pprof profiles (only with -pprof)
 //
 // On SIGINT/SIGTERM the server stops accepting work (new requests get 503),
 // finishes every queued and running job, and exits.
@@ -57,6 +61,8 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	optLevel := fs.Int("O", 0, "default graph-optimization level for requests that omit schedule.opt")
 	maxBody := fs.Int64("maxbody", 8<<20, "request body size limit in bytes (oversized payloads get 413)")
 	artifacts := fs.String("artifacts", "", "persistent program-artifact cache directory (empty disables the disk cache)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logReqs := fs.Bool("logrequests", false, "log one structured line per request to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,12 +84,16 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		fmt.Fprintln(stderr, "samserve:", err)
 		return 1
 	}
-	s := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		CacheSize: *cacheSize, BatchMax: *batchMax,
 		DefaultOpt: *optLevel, MaxBodyBytes: *maxBody,
-		ArtifactDir: *artifacts,
-	})
+		ArtifactDir: *artifacts, EnablePprof: *pprofOn,
+	}
+	if *logReqs {
+		cfg.AccessLog = stderr
+	}
+	s := serve.NewServer(cfg)
 	httpSrv := &http.Server{Handler: s}
 	fmt.Fprintf(stdout, "samserve: listening on http://%s (workers=%d queue=%d cache=%d batch=%d opt=%d)\n",
 		ln.Addr(), *workers, *queueDepth, *cacheSize, *batchMax, *optLevel)

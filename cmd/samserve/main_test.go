@@ -216,3 +216,104 @@ func TestBadFlags(t *testing.T) {
 		t.Errorf("-bogus exit %d, want 2", code)
 	}
 }
+
+// TestSmokeObservability boots the server with -pprof and -logrequests,
+// checks the pprof index answers, scrapes /metrics for the core families,
+// and verifies the access log carried a structured line for the request.
+func TestSmokeObservability(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- realMain([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-pprof", "-logrequests"}, &stdout, &stderr, stop)
+	}()
+
+	re := regexp.MustCompile(`listening on (http://[^ ]+)`)
+	var base string
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if m := re.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr: %s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := `{
+	  "expr": "x(i) = B(i,j) * c(j)",
+	  "inputs": {
+	    "B": {"dims": [2,2], "coords": [[0,0],[0,1],[1,1]], "values": [1,2,3]},
+	    "c": {"dims": [2], "coords": [[0],[1]], "values": [5,7]}
+	  }
+	}`
+	resp, err := http.Post(base+"/v1/evaluate?trace=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		TraceID string `json:"trace_id"`
+		Trace   []struct {
+			Name string `json:"name"`
+		} `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+	if er.TraceID == "" || len(er.Trace) == 0 {
+		t.Errorf("?trace=1 response trace_id=%q spans=%d, want id and spans", er.TraceID, len(er.Trace))
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	exposition := raw.String()
+	for _, want := range []string{
+		"sam_http_requests_total{",
+		"sam_engine_runs_total{engine=",
+		"sam_cache_resolutions_total{tier=",
+		"sam_request_duration_seconds_bucket{",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d, want 200 with -pprof", resp.StatusCode)
+	}
+
+	log := stderr.String()
+	if !strings.Contains(log, "method=POST path=/v1/evaluate status=200") {
+		t.Errorf("access log missing evaluate line; stderr: %s", log)
+	}
+	if !strings.Contains(log, "trace="+er.TraceID) {
+		t.Errorf("access log missing trace id %s; stderr: %s", er.TraceID, log)
+	}
+
+	stop <- os.Interrupt
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after signal")
+	}
+}

@@ -13,6 +13,12 @@
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -engine comp  # compiled co-iteration engine
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -emit spmv.sambc  # write a program artifact
 //	samsim -load spmv.sambc                        # run a program artifact
+//	samsim -expr 'x(i) = B(i,j) * c(j)' -trace     # phase timing breakdown
+//
+// -trace records phase spans (compile or artifact decode, bind, run with
+// per-lane children on parallel compiled plans, assemble) through the same
+// internal/obs recorder the server exposes via ?trace=1, and prints them as
+// an indented tree with the trace id after the summary.
 //
 // -emit compiles (and, with -O, optimizes) the statement, encodes the
 // compiled program into the portable artifact format (internal/prog), writes
@@ -44,6 +50,7 @@ import (
 
 	"sam/internal/custard"
 	"sam/internal/lang"
+	"sam/internal/obs"
 	"sam/internal/opt"
 	"sam/internal/prog"
 	"sam/internal/sim"
@@ -74,6 +81,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	emit := fs.String("emit", "", "write the compiled program as a portable artifact to this file and exit")
 	load := fs.String("load", "", "run a program artifact file instead of compiling -expr")
 	engine := fs.String("engine", "", "simulation engine: event (default), naive, flow, comp, or byte")
+	trace := fs.Bool("trace", false, "record phase spans and print a timing breakdown")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +134,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// One trace covers the whole invocation when -trace is set; a nil trace
+	// records nothing, so the Start/End calls below stay unconditional.
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace()
+	}
+	printTrace := func() {
+		if tr != nil {
+			fmt.Fprintf(stdout, "trace:       %s\n%s", tr.ID(), obs.RenderSpans(tr.Spans()))
+		}
+	}
+
 	if *load != "" {
 		// Artifact mode: decode the program, validate the engine choice, and
 		// run without compiling anything. The statement embedded at encode
@@ -134,11 +154,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		dec := tr.Start("decode")
 		bp, err := prog.Decode(data)
 		if err != nil {
 			return fail(err)
 		}
 		p, err := sim.NewProgramFromArtifact(bp)
+		dec.End()
 		if err != nil {
 			return fail(err)
 		}
@@ -160,7 +182,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		res, err := p.Run(inputs, sim.Options{Engine: kind})
+		res, err := p.Run(inputs, sim.Options{Engine: kind, Trace: tr})
 		if err != nil {
 			return fail(err)
 		}
@@ -187,6 +209,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "  %v = %g\n", pt.Crd, pt.Val)
 			}
 		}
+		printTrace()
 		return 0
 	}
 
@@ -199,6 +222,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *order != "" {
 		sched.LoopOrder = strings.Split(*order, ",")
 	}
+	cs := tr.Start("compile")
 	g, err := custard.Compile(e, nil, sched)
 	if err != nil {
 		return fail(err)
@@ -212,6 +236,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	}
+	cs.End()
 	if *dot {
 		// Print the graph that would simulate — optimized when -O says so —
 		// and stop before binding any data; -dot is a compile-time
@@ -252,7 +277,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if (kind == sim.EngineFlow || kind == sim.EngineComp || kind == sim.EngineByte) && *queueCap != 0 {
 		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the %s engine has no cycle model (drop -queue or use -engine event/naive)", kind))
 	}
-	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind})
+	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind, Trace: tr})
 	if err != nil {
 		return fail(err)
 	}
@@ -285,6 +310,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %v = %g\n", p.Crd, p.Val)
 		}
 	}
+	printTrace()
 	return 0
 }
 

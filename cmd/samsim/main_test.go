@@ -246,3 +246,60 @@ func TestFlagCombinationValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceBreakdown checks -trace prints the span tree after the summary:
+// compile-path runs show compile/bind/run/assemble, a parallel compiled run
+// nests lane children under run, and -load mode shows decode instead of
+// compile. Without -trace no trace line appears.
+func TestTraceBreakdown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-expr", "x(i) = B(i,j) * c(j)",
+		"-dims", "i=30,j=24", "-density", "0.2",
+		"-par", "2", "-engine", "comp", "-trace",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"trace:       t", "compile", "bind", "run", "lane0", "lane1", "assemble"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traced output missing %q:\n%s", want, out)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{
+		"-expr", "x(i) = B(i,j) * c(j)",
+		"-dims", "i=30,j=24", "-density", "0.2",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("untraced exit %d, stderr: %s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "trace:") {
+		t.Errorf("untraced run printed a trace:\n%s", stdout.String())
+	}
+
+	art := filepath.Join(t.TempDir(), "trace.sambc")
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-expr", "x(i) = B(i,j) * c(j)", "-emit", art}, &stdout, &stderr); code != 0 {
+		t.Fatalf("emit exit %d, stderr: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{"-load", art, "-trace"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-load -trace exit %d, stderr: %s", code, stderr.String())
+	}
+	out = stdout.String()
+	for _, want := range []string{"trace:       t", "decode", "bind", "run", "assemble"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-load traced output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "compile") {
+		t.Errorf("-load trace shows a compile span; artifacts are pre-compiled:\n%s", out)
+	}
+}

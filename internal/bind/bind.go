@@ -11,6 +11,7 @@ import (
 
 	"sam/internal/fiber"
 	"sam/internal/graph"
+	"sam/internal/obs"
 	"sam/internal/tensor"
 )
 
@@ -75,6 +76,16 @@ func (p *Plan) Operands(inputs map[string]*tensor.COO) (map[string]*fiber.Tensor
 		bound[bd.Operand] = ft
 	}
 	return bound, nil
+}
+
+// OperandsTraced is Operands wrapped in a "bind" trace span. A nil trace
+// records nothing and adds only a nil check, so engines call this
+// unconditionally.
+func (p *Plan) OperandsTraced(inputs map[string]*tensor.COO, tr *obs.Trace) (map[string]*fiber.Tensor, error) {
+	sp := tr.Start("bind")
+	bound, err := p.Operands(inputs)
+	sp.End()
+	return bound, err
 }
 
 // identityOrder reports whether a mode order is the identity permutation.

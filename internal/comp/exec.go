@@ -3,9 +3,11 @@ package comp
 import (
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 
 	"sam/internal/fiber"
+	"sam/internal/obs"
 	"sam/internal/tensor"
 	"sam/internal/token"
 )
@@ -213,8 +215,16 @@ func (p *Program) getCtx() *RunCtx {
 // from the graph's bind.Plan (sim owns that split); RunGraph is the one-shot
 // convenience.
 func (p *Program) Run(bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, error) {
+	return p.RunTraced(bound, dims, nil)
+}
+
+// RunTraced is Run with phase tracing: the execution records "run" (with one
+// child span per lane goroutine in parallel plans) and "assemble" spans into
+// tr. A nil tr records nothing and makes RunTraced exactly Run — the hooks
+// cost a nil check and nothing else.
+func (p *Program) RunTraced(bound map[string]*fiber.Tensor, dims []int, tr *obs.Trace) (*tensor.COO, error) {
 	rc := p.getCtx()
-	out, err := p.runCtx(rc, bound, dims, false)
+	out, err := p.runCtx(rc, bound, dims, false, tr)
 	if err != nil {
 		p.pool.Put(rc)
 		return nil, err
@@ -230,7 +240,7 @@ func (p *Program) Run(bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, 
 // bit-identical to Run's.
 func (p *Program) RunMerged(bound map[string]*fiber.Tensor, dims []int) (*tensor.COO, error) {
 	rc := p.getCtx()
-	out, err := p.runCtx(rc, bound, dims, true)
+	out, err := p.runCtx(rc, bound, dims, true, nil)
 	if err != nil {
 		p.pool.Put(rc)
 		return nil, err
@@ -248,12 +258,13 @@ func (p *Program) RunPooled(rc *RunCtx, bound map[string]*fiber.Tensor, dims []i
 	if rc.p != p {
 		return nil, fmt.Errorf("comp: run context belongs to a different program")
 	}
-	return p.runCtx(rc, bound, dims, false)
+	return p.runCtx(rc, bound, dims, false, nil)
 }
 
 // runCtx is the shared run core: reset, execute (parallel or merged),
-// raise capacity hints, assemble.
-func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int, merged bool) (out *tensor.COO, err error) {
+// raise capacity hints, assemble. tr, when non-nil, gets a "run" span (with
+// per-lane children) and an "assemble" span.
+func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int, merged bool, tr *obs.Trace) (out *tensor.COO, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			v, ok := r.(violation)
@@ -264,8 +275,9 @@ func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int,
 		}
 	}()
 	rc.reset(bound, dims)
+	run := tr.Start("run")
 	if p.plan != nil && !merged {
-		p.runLanes(rc)
+		p.runLanes(rc, run)
 	} else {
 		for _, st := range p.steps {
 			st(&rc.main)
@@ -280,7 +292,11 @@ func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int,
 			}
 		}
 	}
-	return p.assemble(rc)
+	run.End()
+	asm := tr.Start("assemble")
+	out, err = p.assemble(rc)
+	asm.End()
+	return out, err
 }
 
 // runLanes executes a compiled lane plan: the pre region on the calling
@@ -289,8 +305,9 @@ func (p *Program) runCtx(rc *RunCtx, bound map[string]*fiber.Tensor, dims []int,
 // writers) on the calling goroutine. Lanes write disjoint stream slots, so
 // the only synchronization needed is the barrier's happens-before edge; a
 // panic inside a lane is captured and re-raised on the calling goroutine
-// after every lane has parked.
-func (p *Program) runLanes(rc *RunCtx) {
+// after every lane has parked. When the run span records, each lane gets a
+// child span measured on its own goroutine.
+func (p *Program) runLanes(rc *RunCtx, run obs.Span) {
 	plan := p.plan
 	for _, st := range plan.pre {
 		st(&rc.main)
@@ -307,10 +324,15 @@ func (p *Program) runLanes(rc *RunCtx) {
 					rc.laneErr[l] = r
 				}
 			}()
+			var sp obs.Span
+			if run.Active() {
+				sp = run.Child("lane" + strconv.Itoa(l))
+			}
 			x := &rc.lane[l]
 			for _, st := range plan.lanes[l] {
 				st(x)
 			}
+			sp.End()
 		}(l)
 	}
 	rc.wg.Wait()

@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"sam/internal/bind"
+	"sam/internal/comp"
+	"sam/internal/custard"
+	"sam/internal/fiber"
+	"sam/internal/lang"
+	"sam/internal/obs"
+	"sam/internal/serve"
+	"sam/internal/tensor"
+)
+
+// ObsServePoint is one warm serve-path latency measurement: the same
+// compiled-engine request repeated against a hot program cache, with phase
+// tracing off ("untraced") or requested via ?trace=1 ("traced"). The traced
+// column is what a request pays for a full span breakdown; the untraced
+// column is the steady-state serving cost tracing must not move.
+type ObsServePoint struct {
+	Mode     string  `json:"mode"`
+	Requests int     `json:"requests"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	Spans    int     `json:"spans_per_request"`
+}
+
+// ObsRunPoint is one kernel's engine-level tracing cost: warm pooled
+// compiled execution with a nil trace (the production path — must stay at
+// zero heap allocations) against the same run recording spans into a fresh
+// trace each repetition.
+type ObsRunPoint struct {
+	Kernel           string  `json:"kernel"`
+	UntracedNSPerOp  float64 `json:"untraced_ns_per_op"`
+	TracedNSPerOp    float64 `json:"traced_ns_per_op"`
+	OverheadPct      float64 `json:"overhead_pct"`
+	UntracedAllocsOp float64 `json:"untraced_allocs_per_op"`
+}
+
+// ObsResult bundles the observability-cost study for BENCH_PR8.json:
+// warm serve-path latency with tracing off vs on, engine-level span
+// recording overhead, and the /metrics exposition scrape cost.
+type ObsResult struct {
+	CPUs              int             `json:"cpus"`
+	GoMaxProcs        int             `json:"gomaxprocs"`
+	Serve             []ObsServePoint `json:"serve"`
+	ServeOverheadPct  float64         `json:"serve_traced_overhead_pct"`
+	Run               []ObsRunPoint   `json:"run"`
+	ScrapeMeanMS      float64         `json:"metrics_scrape_mean_ms"`
+	ScrapeBytes       int             `json:"metrics_scrape_bytes"`
+	ScrapeSeriesLines int             `json:"metrics_scrape_lines"`
+}
+
+// ObsStudy measures what observability costs: (1) warm serve-path latency
+// for the same comp-engine request with tracing off and with ?trace=1, over
+// a hot cache so the delta is pure instrumentation; (2) warm pooled
+// compiled-run time with a nil trace vs recording spans, plus the
+// zero-alloc check on the untraced path; and (3) the latency and size of
+// one GET /metrics scrape after the workload ran.
+func ObsStudy(seed int64, scale float64) (*ObsResult, error) {
+	out := &ObsResult{CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	// Phase 1: serve-path latency, untraced vs traced, single client on a
+	// warm cache. The request asks for the comp engine so the hot path is
+	// cached program + pooled run context, the cheapest serving path and
+	// therefore the most tracing-sensitive one.
+	workload := serveWorkload(seed, scale)
+	req := workload[0].req // SpMV, default formats
+	req.Options = &serve.WireOptions{Engine: "comp"}
+	requests := int(120 * scale)
+	if requests < 20 {
+		requests = 20
+	}
+	ts, stop := startServer(serve.Config{Workers: 2, QueueDepth: 64})
+	defer stop()
+	client := &http.Client{}
+	for i := 0; i < 3; i++ {
+		if _, err := post(client, ts.URL, req); err != nil {
+			return nil, fmt.Errorf("obs serve warmup: %w", err)
+		}
+	}
+	for _, mode := range []string{"untraced", "traced"} {
+		url := ts.URL
+		if mode == "traced" {
+			url = ts.URL + "/v1/evaluate?trace=1"
+		}
+		lats := make([]time.Duration, 0, requests)
+		spans := 0
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			var er *serve.EvaluateResponse
+			var err error
+			if mode == "traced" {
+				er, err = postURL(client, url, req)
+			} else {
+				er, err = post(client, ts.URL, req)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("obs serve %s: %w", mode, err)
+			}
+			lats = append(lats, time.Since(t0))
+			if mode == "traced" {
+				if len(er.Trace) == 0 {
+					return nil, fmt.Errorf("obs serve traced: response carries no spans")
+				}
+				spans = len(er.Trace)
+			} else if len(er.Trace) != 0 {
+				return nil, fmt.Errorf("obs serve untraced: response carries %d spans, want none", len(er.Trace))
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		out.Serve = append(out.Serve, ObsServePoint{
+			Mode: mode, Requests: requests,
+			MeanMS: ms(sum) / float64(requests),
+			P50MS:  ms(lats[(requests-1)/2]),
+			P99MS:  ms(lats[(requests*99+99)/100-1]),
+			Spans:  spans,
+		})
+	}
+	if base := out.Serve[0].MeanMS; base > 0 {
+		out.ServeOverheadPct = (out.Serve[1].MeanMS - base) / base * 100
+	}
+
+	// Phase 2: engine-level tracing cost on warm pooled runs. The untraced
+	// repetitions double as the zero-alloc gate measurement.
+	kernels := []struct {
+		name  string
+		expr  string
+		order []string
+	}{
+		{"SpMV", "x(i) = B(i,j) * c(j)", nil},
+		{"SpM*SpM", "X(i,j) = B(i,k) * C(k,j)", []string{"i", "k", "j"}},
+	}
+	for _, k := range kernels {
+		cp, bound, odims, err := obsCompile(k.expr, k.order, seed, scale)
+		if err != nil {
+			return nil, fmt.Errorf("obs run %s: %w", k.name, err)
+		}
+		rc := cp.NewCtx()
+		for i := 0; i < 3; i++ {
+			if _, err := cp.RunPooled(rc, bound, odims); err != nil {
+				return nil, fmt.Errorf("obs run %s warmup: %w", k.name, err)
+			}
+		}
+		const reps = 20
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := cp.RunPooled(rc, bound, odims); err != nil {
+				return nil, fmt.Errorf("obs run %s untraced: %w", k.name, err)
+			}
+		}
+		untraced := float64(time.Since(t0).Nanoseconds()) / reps
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := cp.RunTraced(bound, odims, obs.NewTrace()); err != nil {
+				return nil, fmt.Errorf("obs run %s traced: %w", k.name, err)
+			}
+		}
+		traced := float64(time.Since(t0).Nanoseconds()) / reps
+		var runErr error
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := cp.RunPooled(rc, bound, odims); err != nil && runErr == nil {
+				runErr = err
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("obs run %s alloc gate: %w", k.name, runErr)
+		}
+		overhead := 0.0
+		if untraced > 0 {
+			overhead = (traced - untraced) / untraced * 100
+		}
+		out.Run = append(out.Run, ObsRunPoint{
+			Kernel:          k.name,
+			UntracedNSPerOp: untraced, TracedNSPerOp: traced,
+			OverheadPct: overhead, UntracedAllocsOp: allocs,
+		})
+	}
+
+	// Phase 3: one /metrics scrape after the workload above populated the
+	// registry — exposition latency, payload size, and line count.
+	const scrapes = 10
+	var body []byte
+	t0 := time.Now()
+	for i := 0; i < scrapes; i++ {
+		resp, err := client.Get(ts.URL + "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("obs scrape: %w", err)
+		}
+		body, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("obs scrape read: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("obs scrape: status %d", resp.StatusCode)
+		}
+	}
+	out.ScrapeMeanMS = float64(time.Since(t0).Microseconds()) / 1000 / scrapes
+	out.ScrapeBytes = len(body)
+	for _, b := range body {
+		if b == '\n' {
+			out.ScrapeSeriesLines++
+		}
+	}
+	return out, nil
+}
+
+// postURL sends one evaluation to an explicit endpoint URL (used for the
+// ?trace=1 variant, which post cannot express) and decodes the reply.
+func postURL(client *http.Client, url string, req *serve.EvaluateRequest) (*serve.EvaluateResponse, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	var er serve.EvaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return nil, err
+	}
+	return &er, nil
+}
+
+// obsCompile compiles one kernel and binds scaled synthetic inputs, the
+// package-level analogue of ThroughputStudy's local helper.
+func obsCompile(expr string, order []string, seed int64, scale float64) (*comp.Program, map[string]*fiber.Tensor, []int, error) {
+	dims := map[string]int{
+		"i": int(60 * scale), "j": int(48 * scale), "k": int(32 * scale),
+	}
+	for v, d := range dims {
+		if d < 8 {
+			dims[v] = 8
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	e, err := lang.Parse(expr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, err := custard.Compile(e, nil, lang.Schedule{LoopOrder: order})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cp, err := comp.Compile(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inputs := map[string]*tensor.COO{}
+	for _, a := range e.Accesses() {
+		if _, ok := inputs[a.Tensor]; ok {
+			continue
+		}
+		ds := make([]int, len(a.Idx))
+		total := 1
+		for i, v := range a.Idx {
+			ds[i] = dims[v]
+			total *= ds[i]
+		}
+		t := tensor.UniformRandom(a.Tensor, rng, total/6+1, ds...)
+		tensor.QuantizeInts(rng, 7, t)
+		inputs[a.Tensor] = t
+	}
+	bound, err := bind.Operands(g, inputs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	odims, err := bind.OutputDims(g, inputs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cp, bound, odims, nil
+}
+
+// RenderObs prints the observability-cost study.
+func RenderObs(r *ObsResult) string {
+	header := []string{"Mode", "Requests", "Mean (ms)", "p50 (ms)", "p99 (ms)", "Spans/req"}
+	var body [][]string
+	for _, p := range r.Serve {
+		body = append(body, []string{
+			p.Mode, fmt.Sprint(p.Requests),
+			fmt.Sprintf("%.3f", p.MeanMS), fmt.Sprintf("%.3f", p.P50MS),
+			fmt.Sprintf("%.3f", p.P99MS), fmt.Sprint(p.Spans),
+		})
+	}
+	out := fmt.Sprintf("Observability: warm serve-path latency, tracing off vs ?trace=1 (%d CPUs, GOMAXPROCS %d)\n",
+		r.CPUs, r.GoMaxProcs) + table(header, body)
+	out += fmt.Sprintf("\nTraced mean overhead: %+.1f%%\n", r.ServeOverheadPct)
+	header = []string{"Kernel", "Untraced ns/op", "Traced ns/op", "Overhead", "Untraced allocs/op"}
+	body = nil
+	for _, p := range r.Run {
+		body = append(body, []string{
+			p.Kernel,
+			fmt.Sprintf("%.0f", p.UntracedNSPerOp), fmt.Sprintf("%.0f", p.TracedNSPerOp),
+			fmt.Sprintf("%+.1f%%", p.OverheadPct), fmt.Sprintf("%.1f", p.UntracedAllocsOp),
+		})
+	}
+	out += "\nObservability: engine-level span recording cost (warm pooled runs)\n" + table(header, body)
+	out += fmt.Sprintf("\n/metrics scrape: %.3fms mean, %d bytes, %d lines\n",
+		r.ScrapeMeanMS, r.ScrapeBytes, r.ScrapeSeriesLines)
+	return out
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestObsStudy runs the observability-cost study at a tiny scale and checks
+// the acceptance shape: both serve modes measured with sane latencies,
+// traced responses carrying spans, the untraced pooled path at zero
+// allocations, and a non-degenerate /metrics scrape.
+func TestObsStudy(t *testing.T) {
+	res, err := ObsStudy(1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Serve) != 2 {
+		t.Fatalf("serve points = %d, want 2 (untraced, traced)", len(res.Serve))
+	}
+	for _, p := range res.Serve {
+		if p.MeanMS <= 0 || p.P50MS <= 0 || p.P99MS < p.P50MS {
+			t.Errorf("%s: degenerate latencies %+v", p.Mode, p)
+		}
+	}
+	if res.Serve[0].Mode != "untraced" || res.Serve[0].Spans != 0 {
+		t.Errorf("untraced point = %+v, want mode untraced with 0 spans", res.Serve[0])
+	}
+	if res.Serve[1].Mode != "traced" || res.Serve[1].Spans == 0 {
+		t.Errorf("traced point = %+v, want mode traced with spans", res.Serve[1])
+	}
+	if len(res.Run) != 2 {
+		t.Fatalf("run points = %d, want 2", len(res.Run))
+	}
+	for _, p := range res.Run {
+		if p.UntracedNSPerOp <= 0 || p.TracedNSPerOp <= 0 {
+			t.Errorf("%s: degenerate run times %+v", p.Kernel, p)
+		}
+		if p.UntracedAllocsOp != 0 {
+			t.Errorf("%s: untraced warm pooled run allocates %.1f/op, want 0", p.Kernel, p.UntracedAllocsOp)
+		}
+	}
+	if res.ScrapeBytes <= 0 || res.ScrapeSeriesLines <= 0 {
+		t.Errorf("scrape: %d bytes, %d lines", res.ScrapeBytes, res.ScrapeSeriesLines)
+	}
+	if RenderObs(res) == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync/atomic"
 
+	"sam/internal/obs"
 	"sam/internal/prog"
 	"sam/internal/sim"
 )
@@ -23,20 +23,28 @@ import (
 // degrades to a compile, never to a request error. Writes are atomic
 // (temp file + rename) so a concurrent loader never observes a partial
 // artifact, and corrupt files are deleted on sight so the next compile
-// heals the entry. Safe for concurrent use; all counters are atomic.
+// heals the entry. Safe for concurrent use; the counters live in the
+// server's metrics registry (sam_disk_cache_total{event}), resolved once
+// here so every update is a single atomic add.
 type diskCache struct {
 	dir string
 
-	hits, misses, writes, errors atomic.Int64
+	hits, misses, writes, errors *obs.Counter
 }
 
 // newDiskCache opens an artifact directory, creating it if needed. Creation
 // failure does not disable the store — a later mkdir may succeed, and every
 // store/load failure already degrades to a counted miss — so the constructor
 // never fails.
-func newDiskCache(dir string) *diskCache {
+func newDiskCache(dir string, m *metrics) *diskCache {
 	_ = os.MkdirAll(dir, 0o755)
-	return &diskCache{dir: dir}
+	return &diskCache{
+		dir:    dir,
+		hits:   m.disk.With("hit"),
+		misses: m.disk.With("miss"),
+		writes: m.disk.With("write"),
+		errors: m.disk.With("error"),
+	}
 }
 
 // path maps a canonical request key to its artifact filename. The name
@@ -56,19 +64,19 @@ func (d *diskCache) load(key string) (*sim.Program, bool) {
 	path := d.path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		d.misses.Add(1)
+		d.misses.Inc()
 		return nil, false
 	}
 	bp, err := prog.Decode(data)
 	if err == nil {
 		var p *sim.Program
 		if p, err = sim.NewProgramFromArtifact(bp); err == nil {
-			d.hits.Add(1)
+			d.hits.Inc()
 			return p, true
 		}
 	}
-	d.errors.Add(1)
-	d.misses.Add(1)
+	d.errors.Inc()
+	d.misses.Inc()
 	_ = os.Remove(path)
 	return nil, false
 }
@@ -84,27 +92,27 @@ func (d *diskCache) store(key string, p *sim.Program) {
 	_ = os.MkdirAll(d.dir, 0o755)
 	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
 	if err != nil {
-		d.errors.Add(1)
+		d.errors.Inc()
 		return
 	}
 	_, werr := tmp.Write(art.Bytes())
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		d.errors.Add(1)
+		d.errors.Inc()
 		_ = os.Remove(tmp.Name())
 		return
 	}
 	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
-		d.errors.Add(1)
+		d.errors.Inc()
 		_ = os.Remove(tmp.Name())
 		return
 	}
-	d.writes.Add(1)
+	d.writes.Inc()
 }
 
 // stats snapshots the counters.
 func (d *diskCache) stats() (hits, misses, writes, errors int64) {
-	return d.hits.Load(), d.misses.Load(), d.writes.Load(), d.errors.Load()
+	return d.hits.Value(), d.misses.Value(), d.writes.Value(), d.errors.Value()
 }
 
 // artifactEngine reports whether an engine request can be served by a

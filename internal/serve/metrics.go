@@ -1,69 +1,143 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"sam/internal/obs"
 )
 
-// latWindow is how many recent request latencies the percentile window
-// holds.
+// latWindow is how many recent request latencies the compatibility
+// percentile window holds.
 const latWindow = 2048
 
-// metrics aggregates the server's counters and a sliding latency window for
-// p50/p99. Safe for concurrent use.
+// metrics is the server's observability surface: one obs.Registry holding
+// every counter, gauge, and histogram the service exposes, plus resolved
+// series handles for the hot-path updates (one atomic op each) and a small
+// sliding latency window kept only so /v1/stats can keep reporting the exact
+// sort-based p50/p99 fields it always has. The registry is the single source
+// of truth shared by GET /metrics (Prometheus text) and GET /v1/stats
+// (JSON); both render the same series.
 type metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	requests  int64 // requests admitted (sync + async)
-	rejected  int64 // requests refused with 429 (queue full / draining)
-	failures  int64 // admitted requests that failed
-	cycles    int64 // total simulated cycles served
-	latencies []time.Duration
-	latNext   int
+	// httpRequests counts every HTTP request by endpoint and status code,
+	// including rejected and malformed ones; reqDur is the matching
+	// end-to-end latency histogram.
+	httpRequests *obs.CounterVec
+	reqDur       *obs.HistogramVec
+
+	// Job lifecycle: admitted (sync + async), refused at admission, failed
+	// after admission, and total simulated cycles served.
+	admitted *obs.Counter
+	rejected *obs.Counter
+	failures *obs.Counter
+	cycles   *obs.Counter
 
 	// engineRuns counts completed requests by the engine that actually
 	// executed them; fallbacks counts requests where that engine differs
 	// from the requested one (the compiled engine falling back to the event
 	// engine for graphs it cannot lower).
-	engineRuns map[string]int64
-	fallbacks  int64
+	engineRuns *obs.CounterVec
+	fallbacks  *obs.Counter
+
+	// resolutions counts where prepare found each request's program:
+	// tier="mem" (in-memory LRU), "disk" (decoded artifact), or "compile"
+	// (cold). disk counts the artifact store's own events.
+	resolutions *obs.CounterVec
+	disk        *obs.CounterVec
+
+	// phaseDur holds per-phase latency: setup and queue_wait on every
+	// request, plus the engine's phases (bind, run, assemble, …) on traced
+	// ones.
+	phaseDur *obs.HistogramVec
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	latNext   int
 }
 
-func (m *metrics) admit()  { m.mu.Lock(); m.requests++; m.mu.Unlock() }
-func (m *metrics) reject() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) fail()   { m.mu.Lock(); m.failures++; m.mu.Unlock() }
+// newMetrics builds the registry and registers every family the service
+// exposes. Fixed-label series are pre-resolved so /metrics shows their
+// zero-valued sample lines (and histogram buckets) from the first scrape,
+// before any traffic arrives.
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		httpRequests: reg.CounterVec("sam_http_requests_total",
+			"HTTP requests by endpoint and status code.", "endpoint", "status"),
+		reqDur: reg.HistogramVec("sam_request_duration_seconds",
+			"End-to-end request latency by endpoint.", nil, "endpoint"),
+		admitted: reg.Counter("sam_jobs_admitted_total",
+			"Jobs admitted through the queue (sync and async)."),
+		rejected: reg.Counter("sam_jobs_rejected_total",
+			"Submissions refused at admission (queue full or draining)."),
+		failures: reg.Counter("sam_jobs_failed_total",
+			"Admitted jobs that failed."),
+		cycles: reg.Counter("sam_cycles_simulated_total",
+			"Total simulated cycles served."),
+		engineRuns: reg.CounterVec("sam_engine_runs_total",
+			"Completed requests by the engine that executed them.", "engine"),
+		fallbacks: reg.Counter("sam_engine_fallbacks_total",
+			"Requests whose executing engine differed from the requested one."),
+		resolutions: reg.CounterVec("sam_cache_resolutions_total",
+			"Program resolutions by cache tier: mem (LRU hit), disk (artifact decode), compile (cold).", "tier"),
+		disk: reg.CounterVec("sam_disk_cache_total",
+			"Disk artifact store operations by event: hit, miss, write, error.", "event"),
+		phaseDur: reg.HistogramVec("sam_phase_duration_seconds",
+			"Per-phase latency: setup and queue_wait on every request; bind, run, and assemble on traced runs.", nil, "phase"),
+	}
+	for _, tier := range []string{"mem", "disk", "compile"} {
+		m.resolutions.With(tier)
+	}
+	for _, ev := range []string{"hit", "miss", "write", "error"} {
+		m.disk.With(ev)
+	}
+	for _, ph := range []string{"setup", "queue_wait", "bind", "run", "assemble"} {
+		m.phaseDur.With(ph)
+	}
+	for _, ep := range []string{"/v1/evaluate", "/v1/jobs"} {
+		m.reqDur.With(ep)
+	}
+	return m
+}
+
+func (m *metrics) admit()  { m.admitted.Inc() }
+func (m *metrics) reject() { m.rejected.Inc() }
+func (m *metrics) fail()   { m.failures.Inc() }
 
 // engine records one completed request's executing engine and whether it
 // was a fallback from the requested engine.
 func (m *metrics) engine(executed string, fallback bool) {
-	m.mu.Lock()
-	if m.engineRuns == nil {
-		m.engineRuns = map[string]int64{}
-	}
-	m.engineRuns[executed]++
+	m.engineRuns.With(executed).Inc()
 	if fallback {
-		m.fallbacks++
+		m.fallbacks.Inc()
 	}
-	m.mu.Unlock()
 }
 
-// engines snapshots the per-engine run counts and the fallback total.
+// engines snapshots the per-engine run counts and the fallback total from
+// the registry — the same series /metrics exposes.
 func (m *metrics) engines() (map[string]int64, int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	runs := make(map[string]int64, len(m.engineRuns))
-	for k, v := range m.engineRuns {
-		runs[k] = v
+	runs := map[string]int64{}
+	for _, f := range m.reg.Snapshot() {
+		if f.Name != "sam_engine_runs_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			runs[s.LabelValues[0]] = int64(s.Value)
+		}
 	}
-	return runs, m.fallbacks
+	return runs, m.fallbacks.Value()
 }
 
 // observe records one completed request's latency and simulated cycles.
 func (m *metrics) observe(d time.Duration, cycles int) {
+	m.cycles.Add(int64(cycles))
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.cycles += int64(cycles)
 	if len(m.latencies) < latWindow {
 		m.latencies = append(m.latencies, d)
 		return
@@ -72,7 +146,26 @@ func (m *metrics) observe(d time.Duration, cycles int) {
 	m.latNext = (m.latNext + 1) % latWindow
 }
 
-// percentiles returns the p50 and p99 of the window in milliseconds.
+// phase records one phase duration into the labeled histogram.
+func (m *metrics) phase(name string, d time.Duration) {
+	m.phaseDur.With(name).Observe(d.Seconds())
+}
+
+// phases records a traced run's top-level engine phases (bind, run,
+// assemble, …); nested spans like per-lane children are skipped, they would
+// double-count their parents.
+func (m *metrics) phases(spans []obs.SpanData) {
+	for _, sp := range spans {
+		if sp.Parent == -1 {
+			m.phaseDur.With(sp.Name).Observe(float64(sp.DurNS) / 1e9)
+		}
+	}
+}
+
+// percentiles returns the nearest-rank p50 and p99 of the window in
+// milliseconds. The rank is ceil(q·N) — the classic nearest-rank definition
+// — so p99 over a small window picks the top sample instead of flooring an
+// index and under-reporting (the old int(q·(N-1)) bias).
 func (m *metrics) percentiles() (p50, p99 float64) {
 	m.mu.Lock()
 	lat := append([]time.Duration(nil), m.latencies...)
@@ -82,7 +175,10 @@ func (m *metrics) percentiles() (p50, p99 float64) {
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	at := func(q float64) float64 {
-		i := int(q * float64(len(lat)-1))
+		i := int(math.Ceil(q*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
 		return float64(lat[i]) / float64(time.Millisecond)
 	}
 	return at(0.50), at(0.99)
@@ -90,7 +186,5 @@ func (m *metrics) percentiles() (p50, p99 float64) {
 
 // counters returns the scalar counters.
 func (m *metrics) counters() (requests, rejected, failures, cycles int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.requests, m.rejected, m.failures, m.cycles
+	return m.admitted.Value(), m.rejected.Value(), m.failures.Value(), m.cycles.Value()
 }

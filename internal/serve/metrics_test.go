@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentilesNearestRank pins the nearest-rank definition on known
+// windows. The old implementation indexed int(q*(N-1)), which floors: over
+// ten 1..10ms samples it reported p99 = 9ms, under-reporting the true top
+// sample. Nearest-rank (rank = ceil(q*N)) must pick 10ms.
+func TestPercentilesNearestRank(t *testing.T) {
+	m := newMetrics()
+	for i := 1; i <= 10; i++ {
+		m.observe(time.Duration(i)*time.Millisecond, 0)
+	}
+	p50, p99 := m.percentiles()
+	if p50 != 5 {
+		t.Errorf("p50 = %gms, want 5ms (rank ceil(0.5*10) = 5)", p50)
+	}
+	if p99 != 10 {
+		t.Errorf("p99 = %gms, want 10ms (rank ceil(0.99*10) = 10)", p99)
+	}
+}
+
+func TestPercentilesSingleSample(t *testing.T) {
+	m := newMetrics()
+	m.observe(7*time.Millisecond, 0)
+	p50, p99 := m.percentiles()
+	if p50 != 7 || p99 != 7 {
+		t.Errorf("single sample: p50 = %g, p99 = %g, want both 7", p50, p99)
+	}
+}
+
+func TestPercentilesEmpty(t *testing.T) {
+	m := newMetrics()
+	if p50, p99 := m.percentiles(); p50 != 0 || p99 != 0 {
+		t.Errorf("empty window: p50 = %g, p99 = %g, want 0, 0", p50, p99)
+	}
+}
+
+func TestPercentilesLargeWindow(t *testing.T) {
+	m := newMetrics()
+	for i := 1; i <= 100; i++ {
+		m.observe(time.Duration(i)*time.Millisecond, 0)
+	}
+	p50, p99 := m.percentiles()
+	if p50 != 50 {
+		t.Errorf("p50 = %gms, want 50ms", p50)
+	}
+	if p99 != 99 {
+		t.Errorf("p99 = %gms, want 99ms", p99)
+	}
+}

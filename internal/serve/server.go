@@ -11,6 +11,14 @@
 //	POST /v1/jobs       asynchronous submission; returns a job id
 //	GET  /v1/jobs/{id}  job status and result
 //	GET  /v1/stats      cache, queue, cycle, and latency counters
+//	GET  /metrics       the same counters as Prometheus text exposition
+//
+// Observability: every request is counted and timed per endpoint and status
+// in a labeled metrics registry (internal/obs) that both /metrics and
+// /v1/stats render; `?trace=1` on the evaluation endpoints records a
+// phase-span breakdown (admission, queue wait, bind, run, assemble) returned
+// in the response, and Config.EnablePprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // Backpressure is explicit: when the bounded queue is full, both entry
 // points reject immediately with 429 rather than queueing unboundedly.
@@ -20,7 +28,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -28,6 +38,7 @@ import (
 
 	"sam/internal/custard"
 	"sam/internal/lang"
+	"sam/internal/obs"
 	"sam/internal/opt"
 	"sam/internal/sim"
 	"sam/internal/tensor"
@@ -65,6 +76,14 @@ type Config struct {
 	// warm disk skips parsing (beyond keying), custard, the optimizer, and
 	// lowering. Empty disables the disk cache (the default).
 	ArtifactDir string
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and belong
+	// behind an explicit flag (samserve -pprof).
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request: method, path, status, canonical program key, engine, cache
+	// tier, duration, and trace ID (samserve -logrequests wires stderr).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +138,9 @@ type job struct {
 	prep  *prepared
 	start time.Time
 	done  chan struct{} // closed after resp/errMsg and status are final
+	// qw is the queue-wait span of a traced job (inert otherwise), started
+	// at admission and ended when a worker picks the job up.
+	qw obs.Span
 	// sync marks a synchronous /v1/evaluate job: its id is never returned
 	// to the caller, so its record (and output tensor) is dropped on
 	// completion instead of being archived for GET /v1/jobs/{id}.
@@ -136,9 +158,15 @@ type prepared struct {
 	inputs map[string]*tensor.COO
 	opt    sim.Options
 	engine string
+	// key is the canonical program-cache key, surfaced in access logs.
+	key string
 	// cache records where the program came from: "hit" (in-memory LRU),
 	// "disk" (decoded from the artifact store), or "miss" (compiled).
 	cache string
+	// begin anchors the request's total latency (ElapsedNS): the moment
+	// prepare started, so traced phase spans — admission included — sum to
+	// within it.
+	begin time.Time
 	setup time.Duration
 }
 
@@ -149,20 +177,91 @@ func NewServer(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   newProgramCache(cfg.CacheSize),
-		metrics: &metrics{},
+		metrics: newMetrics(),
 		jobs:    map[string]*job{},
 	}
 	if cfg.ArtifactDir != "" {
-		s.disk = newDiskCache(cfg.ArtifactDir)
+		s.disk = newDiskCache(cfg.ArtifactDir, s.metrics)
 	}
 	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, cfg.BatchMax, s.runBatch)
+	// Live gauges read their sources at scrape time, no update plumbing.
+	s.metrics.reg.GaugeFunc("sam_queue_depth", "Admitted jobs waiting or running in the queue.",
+		func() float64 { return float64(s.queue.depth()) })
+	s.metrics.reg.GaugeFunc("sam_cache_programs", "Compiled programs resident in the in-memory LRU.",
+		func() float64 { _, _, _, size := s.cache.stats(); return float64(size) })
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
+}
+
+// reqInfo wraps a ResponseWriter to capture the status code and per-request
+// details (canonical key, engine, cache tier, trace ID) that handlers fill
+// in for the access log.
+type reqInfo struct {
+	http.ResponseWriter
+	status  int
+	key     string
+	engine  string
+	cache   string
+	traceID string
+}
+
+func (ri *reqInfo) WriteHeader(code int) {
+	if ri.status == 0 {
+		ri.status = code
+	}
+	ri.ResponseWriter.WriteHeader(code)
+}
+
+// note records the evaluation details on the wrapped writer, if the handler
+// is running under instrument (tests may call handlers bare).
+func note(w http.ResponseWriter, prep *prepared) {
+	ri, ok := w.(*reqInfo)
+	if !ok {
+		return
+	}
+	ri.key, ri.engine, ri.cache = prep.key, prep.engine, prep.cache
+	ri.traceID = prep.opt.Trace.ID()
+}
+
+// instrument wraps a handler with per-endpoint observability: request count
+// by status, latency histogram, and the optional access log line.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		ri := &reqInfo{ResponseWriter: w}
+		h(ri, r)
+		if ri.status == 0 {
+			ri.status = http.StatusOK
+		}
+		d := time.Since(begin)
+		s.metrics.httpRequests.With(endpoint, strconv.Itoa(ri.status)).Inc()
+		s.metrics.reqDur.With(endpoint).Observe(d.Seconds())
+		if s.cfg.AccessLog != nil {
+			fmt.Fprintf(s.cfg.AccessLog,
+				"method=%s path=%s status=%d key=%q engine=%s cache=%s dur_ms=%.3f trace=%s\n",
+				r.Method, r.URL.Path, ri.status, ri.key, ri.engine, ri.cache,
+				float64(d)/float64(time.Millisecond), ri.traceID)
+		}
+	}
+}
+
+// handleMetrics serves the registry as Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -175,8 +274,10 @@ func (s *Server) Close() { s.queue.drain() }
 // prepare validates a request and resolves its compiled program through the
 // cache. The returned setup duration covers parse, canonicalization, and —
 // on a miss — compilation and program construction: the cost the cache
-// amortizes.
-func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
+// amortizes. tr, when non-nil, gets an "admission" span with children for
+// the cache lookup and the compile or artifact decode; the same trace rides
+// Options.Trace into the engine for its phase spans.
+func (s *Server) prepare(req *EvaluateRequest, tr *obs.Trace) (*prepared, error) {
 	if req.Expr == "" {
 		return nil, fmt.Errorf("expr is required")
 	}
@@ -194,6 +295,8 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 	}
 
 	begin := time.Now()
+	adm := tr.Start("admission")
+	defer adm.End()
 	e, err := lang.Parse(req.Expr)
 	if err != nil {
 		return nil, err
@@ -222,7 +325,9 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 		return sim.NewProgram(g)
 	}
 	key := lang.CanonicalKey(e, formats, sched)
+	lookup := adm.Child("cache_lookup")
 	prog, hit := s.cache.get(key)
+	lookup.End()
 	source := "hit"
 	if !hit {
 		source = "miss"
@@ -230,13 +335,19 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 		// artifact: decoding replaces custard, the optimizer, and lowering.
 		// Other engines need the source graph, so they skip the disk.
 		if s.disk != nil && artifactEngine(opt.Engine) {
-			if p, ok := s.disk.load(key); ok {
+			dl := adm.Child("disk_load")
+			p, ok := s.disk.load(key)
+			dl.End()
+			if ok {
 				prog, source = p, "disk"
 			}
 		}
 		if prog == nil {
+			cs := adm.Child("compile")
 			var err error
-			if prog, err = compile(); err != nil {
+			prog, err = compile()
+			cs.End()
+			if err != nil {
 				return nil, err
 			}
 			if s.disk != nil {
@@ -257,8 +368,11 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 		if prog.Graph() != nil {
 			return nil, err
 		}
+		cs := adm.Child("compile")
 		var cerr error
-		if prog, cerr = compile(); cerr != nil {
+		prog, cerr = compile()
+		cs.End()
+		if cerr != nil {
 			return nil, cerr
 		}
 		s.cache.put(key, prog)
@@ -276,9 +390,13 @@ func (s *Server) prepare(req *EvaluateRequest) (*prepared, error) {
 	if engine == "" {
 		engine = string(sim.EngineEvent)
 	}
+	// The resolved tier, by the name /metrics exposes: mem / disk / compile.
+	tier := map[string]string{"hit": "mem", "disk": "disk", "miss": "compile"}[source]
+	s.metrics.resolutions.With(tier).Inc()
+	opt.Trace = tr
 	return &prepared{
 		prog: prog, inputs: inputs, opt: opt, engine: engine,
-		cache: source, setup: setup,
+		key: key, cache: source, begin: begin, setup: setup,
 	}, nil
 }
 
@@ -334,7 +452,9 @@ func (s *Server) admit(prep *prepared, sync bool) (*job, error) {
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	j.qw = prep.opt.Trace.Start("queue_wait")
 	if err := s.queue.submit(j); err != nil {
+		j.qw.End()
 		s.mu.Lock()
 		delete(s.jobs, j.id)
 		s.mu.Unlock()
@@ -342,6 +462,7 @@ func (s *Server) admit(prep *prepared, sync bool) (*job, error) {
 		return nil, err
 	}
 	s.metrics.admit()
+	s.metrics.phase("setup", prep.setup)
 	return j, nil
 }
 
@@ -354,6 +475,10 @@ func (s *Server) runBatch(batch []*job) {
 		j.status = "running"
 	}
 	s.mu.Unlock()
+	for _, j := range batch {
+		j.qw.End()
+		s.metrics.phase("queue_wait", time.Since(j.start))
+	}
 
 	groups := map[sim.Options][]*job{}
 	for _, j := range batch {
@@ -387,7 +512,13 @@ func (s *Server) runBatch(batch []*job) {
 
 // finish publishes a job's outcome and records metrics.
 func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
-	elapsed := time.Since(j.start)
+	// Total latency is anchored at prepare, not admission, so a traced
+	// request's spans (admission included) sum to within it.
+	elapsed := time.Since(j.prep.begin)
+	tr := j.prep.opt.Trace
+	if res != nil {
+		s.metrics.phases(res.Phases)
+	}
 	s.mu.Lock()
 	if errMsg != "" {
 		j.status = "failed"
@@ -411,6 +542,8 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 			Requested:   j.prep.engine,
 			SetupNS:     j.prep.setup.Nanoseconds(),
 			ElapsedNS:   elapsed.Nanoseconds(),
+			TraceID:     tr.ID(),
+			Trace:       tr.Spans(),
 		}
 	}
 	if j.sync {
@@ -483,16 +616,26 @@ func (s *Server) Stats() StatsResponse {
 	return resp
 }
 
+// traceRequested reports whether the request opted into phase tracing with
+// ?trace=1 (any non-empty value except "0" counts).
+func traceRequested(r *http.Request) *obs.Trace {
+	if v := r.URL.Query().Get("trace"); v != "" && v != "0" {
+		return obs.NewTrace()
+	}
+	return nil
+}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	prep, err := s.prepare(req)
+	prep, err := s.prepare(req, traceRequested(r))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	note(w, prep)
 	j, err := s.admit(prep, true)
 	if err != nil {
 		writeAdmissionError(w, err)
@@ -514,17 +657,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	prep, err := s.prepare(req)
+	prep, err := s.prepare(req, traceRequested(r))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	note(w, prep)
 	j, err := s.admit(prep, false)
 	if err != nil {
 		writeAdmissionError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, JobResponse{ID: j.id, Status: "queued"})
+	writeJSON(w, http.StatusAccepted, JobResponse{ID: j.id, Status: "queued", TraceID: prep.opt.Trace.ID()})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

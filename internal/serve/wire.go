@@ -5,6 +5,7 @@ import (
 
 	"sam/internal/fiber"
 	"sam/internal/lang"
+	"sam/internal/obs"
 	"sam/internal/opt"
 	"sam/internal/sim"
 	"sam/internal/tensor"
@@ -87,14 +88,27 @@ type EvaluateResponse struct {
 	// cache lookup on a hit, parse plus compile plus program build on a
 	// miss. The warm/cold setup ratio is the cache's value.
 	SetupNS int64 `json:"setup_ns"`
-	// ElapsedNS is the full server-side request time in nanoseconds.
+	// ElapsedNS is the full server-side request time in nanoseconds, from
+	// the start of request preparation through completion (admission,
+	// queue wait, and execution included).
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// TraceID and Trace are set when the request asked for phase tracing
+	// (?trace=1): the per-request trace identifier and the recorded span
+	// breakdown — admission (with cache_lookup and compile or disk_load
+	// children), queue_wait, and the engine's phases (bind, run with
+	// per-lane children, assemble). Span parent indices refer into the
+	// same slice; -1 marks a top-level span.
+	TraceID string         `json:"trace_id,omitempty"`
+	Trace   []obs.SpanData `json:"trace,omitempty"`
 }
 
 // JobResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.
 type JobResponse struct {
 	ID     string `json:"id"`
 	Status string `json:"status"` // "queued", "running", "done", "failed"
+	// TraceID is set on submission when the job asked for phase tracing
+	// (?trace=1); the full span breakdown arrives in Result once done.
+	TraceID string `json:"trace_id,omitempty"`
 	// Result is set once Status is "done".
 	Result *EvaluateResponse `json:"result,omitempty"`
 	// Error is set once Status is "failed".

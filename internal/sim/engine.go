@@ -166,24 +166,30 @@ func (e cycleEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt O
 	if opt.MaxCycles == 0 {
 		opt.MaxCycles = 2_000_000_000
 	}
+	mark := opt.Trace.Len()
 	b, err := newBuilder(p, inputs, opt)
 	if err != nil {
 		return nil, err
 	}
+	run := opt.Trace.Start("run")
 	var cycles int
 	if e.kind == EngineNaive {
 		cycles, err = b.net.RunNaive(opt.MaxCycles)
 	} else {
 		cycles, err = b.net.Run(opt.MaxCycles)
 	}
+	run.End()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.g.Name, err)
 	}
+	asm := opt.Trace.Start("assemble")
 	out, err := b.assemble()
+	asm.End()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Cycles: cycles, Output: out, Streams: map[string]*core.StreamStats{}, Engine: e.kind}
+	res.Phases = opt.Trace.SpansSince(mark)
 	b.streams(res)
 	return res, nil
 }
@@ -211,11 +217,15 @@ func (e flowEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 	if p.flowErr != nil {
 		return nil, p.flowErr
 	}
+	mark := opt.Trace.Len()
+	run := opt.Trace.Start("run")
 	out, err := flow.Run(p.g, inputs)
+	run.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineFlow}, nil
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: EngineFlow,
+		Phases: opt.Trace.SpansSince(mark)}, nil
 }
 
 // compEngine adapts the compiled co-iteration engine (internal/comp) to the
@@ -249,7 +259,7 @@ func (e compEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 		}
 		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
 	}
-	return runCompiled(p, cp, inputs, EngineComp)
+	return runCompiled(p, cp, inputs, opt, EngineComp)
 }
 
 // byteEngine adapts the portable-artifact interpreter (internal/prog) to
@@ -277,15 +287,16 @@ func (e byteEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 		}
 		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
 	}
-	return runCompiled(p, bp.Compiled(), inputs, EngineByte)
+	return runCompiled(p, bp.Compiled(), inputs, opt, EngineByte)
 }
 
 // runCompiled is the shared functional-engine run core: bind operands
 // through the program's plan, execute the compiled program, wrap the
 // result. comp and byte differ only in where the compiled program came
 // from — a direct lowering or a decoded artifact.
-func runCompiled(p *Program, cp *comp.Program, inputs map[string]*tensor.COO, kind EngineKind) (*Result, error) {
-	bound, err := p.plan.Operands(inputs)
+func runCompiled(p *Program, cp *comp.Program, inputs map[string]*tensor.COO, opt Options, kind EngineKind) (*Result, error) {
+	mark := opt.Trace.Len()
+	bound, err := p.plan.OperandsTraced(inputs, opt.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -293,9 +304,10 @@ func runCompiled(p *Program, cp *comp.Program, inputs map[string]*tensor.COO, ki
 	if err != nil {
 		return nil, err
 	}
-	out, err := cp.Run(bound, dims)
+	out, err := cp.RunTraced(bound, dims, opt.Trace)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", p.name(), err)
 	}
-	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: kind}, nil
+	return &Result{Output: out, Streams: map[string]*core.StreamStats{}, Engine: kind,
+		Phases: opt.Trace.SpansSince(mark)}, nil
 }

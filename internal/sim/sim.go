@@ -25,6 +25,7 @@ import (
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
+	"sam/internal/obs"
 	"sam/internal/tensor"
 )
 
@@ -40,6 +41,13 @@ type Options struct {
 	Engine EngineKind
 	// Workers bounds RunBatch's worker pool; 0 means GOMAXPROCS.
 	Workers int
+	// Trace, when non-nil, records phase spans (bind, run, assemble, …)
+	// into the given recorder; the engine's spans come back in
+	// Result.Phases. Nil (the default) disables tracing at zero cost: every
+	// instrumentation hook on a nil trace is an allocation-free no-op.
+	// Being a pointer keeps Options comparable, which batch grouping relies
+	// on; traced runs simply never coalesce with other requests.
+	Trace *obs.Trace
 }
 
 // Result carries the outcome of a simulation.
@@ -56,6 +64,12 @@ type Result struct {
 	// back to the event engine for a graph outside its block set; serving
 	// counts those fallbacks per engine.
 	Engine EngineKind
+	// Phases holds the engine's phase spans for this run when
+	// Options.Trace was set: operand binding, net wiring or compiled-step
+	// setup, the run itself (with per-lane children in the compiled
+	// engine's goroutine mode), and output assembly. Nil when tracing was
+	// off. Parent indices are local to this slice.
+	Phases []obs.SpanData
 }
 
 // Run compiles nothing — it executes an already-compiled graph against the
@@ -99,9 +113,11 @@ func newBuilder(p *Program, inputs map[string]*tensor.COO, opt Options) (*builde
 		crdWr: map[int]*core.CrdWriter{}, bvWr: map[int]*core.BVWriter{},
 	}
 	var err error
-	if b.bound, err = p.plan.Operands(inputs); err != nil {
+	if b.bound, err = p.plan.OperandsTraced(inputs, opt.Trace); err != nil {
 		return nil, err
 	}
+	wire := opt.Trace.Start("wire")
+	defer wire.End()
 	if b.dims, err = p.plan.OutputDims(inputs); err != nil {
 		return nil, err
 	}

@@ -65,6 +65,26 @@
 // API — run by cmd/samserve (see the README's Serving section for the wire
 // format and a curl walkthrough).
 //
+// # Observability
+//
+// The internal/obs package provides a dependency-free labeled metrics
+// registry and a per-request phase tracer, both wired through the stack.
+// The server exposes every counter and latency histogram as Prometheus
+// text on GET /metrics (the same registry backs GET /v1/stats), mounts
+// net/http/pprof behind samserve -pprof, and records a span breakdown —
+// admission (cache lookup, compile or artifact decode), queue wait, bind,
+// engine run with per-lane children, assembly — for any request carrying
+// ?trace=1. Library callers opt in per run by setting Options.Trace:
+//
+//	tr := sam.NewTrace()
+//	res, err := p.Run(inputs, sam.Options{Engine: sam.EngineComp, Trace: tr})
+//	fmt.Print(sam.RenderSpans(tr.Spans()))
+//
+// A nil Trace records nothing and costs a nil check, so the warm
+// compiled path stays allocation-free with tracing off. samsim -trace
+// prints the same breakdown on the command line, and the README's
+// Observability section lists every metric family and span name.
+//
 // # Optimization
 //
 // Schedule{Opt: 1} runs the graph optimizer (internal/opt) between
@@ -116,6 +136,7 @@ import (
 	"sam/internal/fiber"
 	"sam/internal/graph"
 	"sam/internal/lang"
+	"sam/internal/obs"
 	"sam/internal/opt"
 	"sam/internal/prog"
 	"sam/internal/serve"
@@ -204,8 +225,32 @@ type Program = sim.Program
 type Server = serve.Server
 
 // ServerConfig sizes a Server: worker pool, admission queue depth,
-// program-cache capacity, and micro-batch width.
+// program-cache capacity, and micro-batch width. It also carries the
+// observability switches: EnablePprof mounts net/http/pprof under
+// /debug/pprof/, and AccessLog receives one structured line per request.
 type ServerConfig = serve.Config
+
+// Trace is a per-request phase recorder: named spans with monotonic
+// timestamps and parent links. Set one on Options.Trace to capture where a
+// run spends its time (bind, engine run with per-lane children, assembly);
+// every method on a nil *Trace is a no-op, so instrumented paths cost a
+// nil check when tracing is off. The serving layer creates one per request
+// carrying ?trace=1 and returns the spans in the response.
+type Trace = obs.Trace
+
+// Span is a handle to one in-progress trace span; the zero Span is inert.
+type Span = obs.Span
+
+// SpanData is one finished span in a trace snapshot: name, parent index
+// (-1 for top-level), and start/duration in nanoseconds from trace start.
+type SpanData = obs.SpanData
+
+// NewTrace starts an empty trace with a fresh process-unique ID.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// RenderSpans formats a span snapshot as an indented text tree, the same
+// rendering samsim -trace prints.
+func RenderSpans(spans []SpanData) string { return obs.RenderSpans(spans) }
 
 // Level storage formats (paper Sections 3.1 and 4.3).
 const (
