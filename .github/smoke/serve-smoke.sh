@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Serve smoke: start samserve, evaluate one gold-checked SpMV on the default
-# engine and one on the compiled engine, assert the /v1/stats counters
-# (per-engine run counts, zero fallbacks), then drain on SIGINT.
+# engine and one on the compiled engine, upload the same operands as named
+# tensors and re-evaluate by {"ref": name}, assert the /v1/stats counters
+# (per-engine run counts, zero fallbacks, tensor-store activity), then
+# drain on SIGINT.
 set -euo pipefail
 
 ./samserve -addr 127.0.0.1:8345 &
@@ -46,6 +48,31 @@ grep -q '"trace_id":"t' smoke-trace.json
 grep -q '"trace":\[{' smoke-trace.json
 grep -q '"name":"run"' smoke-trace.json
 
+# Named tensor store: upload the SpMV operands once, evaluate by
+# {"ref": name}, and get the same gold output plus per-ref version stamps.
+curl -sf -X PUT 127.0.0.1:8345/v1/tensors/B \
+  -H 'Content-Type: application/json' \
+  -d '{"dims":[2,2],"coords":[[0,0],[0,1],[1,1]],"values":[1,2,3]}' | tee tensor-b.json
+grep -q '"name":"B"' tensor-b.json
+grep -q '"version":1' tensor-b.json
+grep -q '"fingerprint":"t' tensor-b.json
+curl -sf -X PUT 127.0.0.1:8345/v1/tensors/c \
+  -H 'Content-Type: application/json' \
+  -d '{"dims":[2],"coords":[[0],[1]],"values":[5,7]}' > /dev/null
+curl -sf -X POST 127.0.0.1:8345/v1/evaluate \
+  -H 'Content-Type: application/json' \
+  -d '{"expr":"x(i) = B(i,j) * c(j)","inputs":{"B":{"ref":"B"},"c":{"ref":"c"}}}' | tee smoke-ref.json
+grep -q '"values":\[19,21\]' smoke-ref.json
+grep -q '"tensors":{' smoke-ref.json
+grep -q '"cache":"hit"' smoke-ref.json
+
+# Tensor-store counters land in /v1/stats.
+curl -sf 127.0.0.1:8345/v1/stats | tee stats-tensors.json
+grep -q '"tensors_stored":2' stats-tensors.json
+grep -q '"tensors_puts":2' stats-tensors.json
+grep -q '"tensors_ref_hits":2' stats-tensors.json
+grep -q '"tensors_ref_misses":0' stats-tensors.json
+
 # Prometheus exposition: the registry families with their labels, and at
 # least one cumulative histogram bucket line.
 curl -sf 127.0.0.1:8345/metrics | tee metrics.txt
@@ -56,6 +83,10 @@ grep -q '^sam_cache_resolutions_total{tier="compile"} 1' metrics.txt
 grep -q '^sam_request_duration_seconds_bucket{endpoint="/v1/evaluate",le="+Inf"}' metrics.txt
 grep -q '^sam_request_duration_seconds_count{endpoint="/v1/evaluate"}' metrics.txt
 grep -q '^sam_phase_duration_seconds_bucket{phase="queue_wait",le="+Inf"}' metrics.txt
+grep -q '^sam_tensor_store_ops_total{op="put"} 2' metrics.txt
+grep -q '^sam_tensor_store_ops_total{op="ref_hit"} 2' metrics.txt
+grep -q '^sam_tensor_store_tensors 2' metrics.txt
+grep -q '^sam_tensor_store_bytes ' metrics.txt
 
 # pprof stays off without -pprof.
 if curl -sf 127.0.0.1:8345/debug/pprof/cmdline > /dev/null; then

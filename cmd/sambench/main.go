@@ -16,10 +16,11 @@
 //	sambench -exp throughput -json > BENCH_PR6.json # lane/pool/batch throughput study
 //	sambench -exp artifact -json > BENCH_PR7.json # program-artifact encode/decode/serve study
 //	sambench -exp obs -json > BENCH_PR8.json   # observability-cost study
+//	sambench -exp state -json > BENCH_PR9.json # named-operand-store study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
 // fig15, pointlevel, engines, parallel, serve, opt, comp, throughput,
-// artifact, obs.
+// artifact, obs, state.
 package main
 
 import (
@@ -38,7 +39,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact", "obs"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact", "obs", "state"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -267,6 +268,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderObs(res), res, nil
+	case "state":
+		res, err := experiments.StateStudy(seed, scale)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderState(res), res, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

@@ -13,12 +13,15 @@
 // Endpoints (see the README's Serving and Observability sections for a curl
 // walkthrough):
 //
-//	POST /v1/evaluate   synchronous evaluation (?trace=1 for a span breakdown)
-//	POST /v1/jobs       asynchronous submission; returns a job id
-//	GET  /v1/jobs/{id}  job status and result
-//	GET  /v1/stats      cache, queue, cycle, and latency counters
-//	GET  /metrics       Prometheus text exposition of the same counters
-//	GET  /debug/pprof/  net/http/pprof profiles (only with -pprof)
+//	POST /v1/evaluate        synchronous evaluation (?trace=1 for a span breakdown)
+//	POST /v1/jobs            asynchronous submission; returns a job id
+//	GET  /v1/jobs/{id}       job status and result
+//	PUT  /v1/tensors/{name}  upload a named operand (COO wire format; -tensorbudget caps residency)
+//	GET  /v1/tensors/{name}  stored-tensor metadata (?data=1 includes the tensor)
+//	DEL  /v1/tensors/{name}  remove a stored tensor (in-flight jobs keep their pinned copy)
+//	GET  /v1/stats           cache, queue, tensor-store, cycle, and latency counters
+//	GET  /metrics            Prometheus text exposition of the same counters
+//	GET  /debug/pprof/       net/http/pprof profiles (only with -pprof)
 //
 // On SIGINT/SIGTERM the server stops accepting work (new requests get 503),
 // finishes every queued and running job, and exits.
@@ -60,6 +63,7 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 	batchMax := fs.Int("batch", 1, "max jobs one worker batches through SimulateBatch")
 	optLevel := fs.Int("O", 0, "default graph-optimization level for requests that omit schedule.opt")
 	maxBody := fs.Int64("maxbody", 8<<20, "request body size limit in bytes (oversized payloads get 413)")
+	tensorBudget := fs.Int64("tensorbudget", 256<<20, "named tensor store budget in bytes (LRU eviction beyond it)")
 	artifacts := fs.String("artifacts", "", "persistent program-artifact cache directory (empty disables the disk cache)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logReqs := fs.Bool("logrequests", false, "log one structured line per request to stderr")
@@ -78,6 +82,10 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		fmt.Fprintln(stderr, "samserve: -maxbody must be positive")
 		return 2
 	}
+	if *tensorBudget < 1 {
+		fmt.Fprintln(stderr, "samserve: -tensorbudget must be positive")
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -88,7 +96,8 @@ func realMain(args []string, stdout, stderr io.Writer, stop <-chan os.Signal) in
 		Workers: *workers, QueueDepth: *queueDepth,
 		CacheSize: *cacheSize, BatchMax: *batchMax,
 		DefaultOpt: *optLevel, MaxBodyBytes: *maxBody,
-		ArtifactDir: *artifacts, EnablePprof: *pprofOn,
+		TensorBudgetBytes: *tensorBudget,
+		ArtifactDir:       *artifacts, EnablePprof: *pprofOn,
 	}
 	if *logReqs {
 		cfg.AccessLog = stderr

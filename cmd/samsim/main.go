@@ -14,6 +14,14 @@
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -emit spmv.sambc  # write a program artifact
 //	samsim -load spmv.sambc                        # run a program artifact
 //	samsim -expr 'x(i) = B(i,j) * c(j)' -trace     # phase timing breakdown
+//	samsim -expr 'y(i) = M(i,j) * x(j)' -iterate 20 -fixvar x -fixmode pagerank
+//
+// -iterate runs the compiled program to a fixpoint instead of once: each
+// iteration folds the output back into the -fixvar input under the -fixmode
+// update rule (power, pagerank, reach) until the L1 step delta reaches -tol
+// or the iteration budget runs out (see sim.RunFixpoint). The gold check
+// replays the same iterations against the dense evaluator. -iterate works in
+// -load mode too — the artifact's embedded statement names the operands.
 //
 // -trace records phase spans (compile or artifact decode, bind, run with
 // per-lane children on parallel compiled plans, assemble) through the same
@@ -81,6 +89,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	emit := fs.String("emit", "", "write the compiled program as a portable artifact to this file and exit")
 	load := fs.String("load", "", "run a program artifact file instead of compiling -expr")
 	engine := fs.String("engine", "", "simulation engine: event (default), naive, flow, comp, or byte")
+	iterate := fs.Int("iterate", 0, "iterate the program to a fixpoint, at most this many times (0 = single run)")
+	fixvar := fs.String("fixvar", "x", "fixpoint state input the update rule rewrites (with -iterate)")
+	fixmode := fs.String("fixmode", "power", "fixpoint update rule: power, pagerank, or reach (with -iterate)")
+	damping := fs.Float64("damping", 0, "pagerank damping factor (0 = the conventional 0.85; with -iterate)")
+	tol := fs.Float64("tol", 0, "stop iterating once the L1 step delta reaches this (0 = run all iterations)")
 	trace := fs.Bool("trace", false, "record phase spans and print a timing breakdown")
 	check := fs.Bool("check", true, "verify against the dense gold evaluator")
 	verbose := fs.Bool("v", false, "print the output tensor")
@@ -117,6 +130,23 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	if *optLevel < 0 || *optLevel > opt.MaxLevel {
 		return fail(fmt.Errorf("unknown -O level %d (the optimizer knows levels 0..%d)", *optLevel, opt.MaxLevel))
+	}
+	var fx *sim.Fixpoint
+	if *iterate != 0 {
+		fx = &sim.Fixpoint{Var: *fixvar, MaxIters: *iterate, Tol: *tol, Mode: *fixmode, Damping: *damping}
+		if err := fx.Validate(); err != nil {
+			return fail(err)
+		}
+	} else {
+		// The fixpoint-shaping flags do nothing without -iterate; reject them
+		// instead of silently ignoring a typo'd invocation.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"fixvar", "fixmode", "damping", "tol"} {
+			if set[name] {
+				return fail(fmt.Errorf("-%s shapes fixpoint iteration and needs -iterate", name))
+			}
+		}
 	}
 
 	dims := map[string]int{}
@@ -181,6 +211,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		inputs, err := buildInputs(e, *mtx, dims, *density, *seed)
 		if err != nil {
 			return fail(err)
+		}
+		if fx != nil {
+			fmt.Fprintf(stdout, "artifact:    %s (%d bytes, format v%d)\n", *load, len(data), prog.Version)
+			fmt.Fprintf(stdout, "expression:  %s\n", e)
+			return runFixpointCLI(stdout, stderr, p, e, inputs, *fx,
+				sim.Options{Engine: kind, Trace: tr}, *check, *verbose, printTrace)
 		}
 		res, err := p.Run(inputs, sim.Options{Engine: kind, Trace: tr})
 		if err != nil {
@@ -277,6 +313,20 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if (kind == sim.EngineFlow || kind == sim.EngineComp || kind == sim.EngineByte) && *queueCap != 0 {
 		return fail(fmt.Errorf("-queue models finite buffering in the cycle engines; the %s engine has no cycle model (drop -queue or use -engine event/naive)", kind))
 	}
+	if fx != nil {
+		p, err := sim.NewProgram(g)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "expression:  %s\n", e)
+		fmt.Fprintf(stdout, "graph:       %d nodes, %d edges\n", len(g.Nodes), len(g.Edges))
+		if optReport != nil {
+			fmt.Fprintf(stdout, "optimizer:   -O%d removed %d of %d blocks\n",
+				optReport.Level, optReport.NodesBefore-optReport.NodesAfter, optReport.NodesBefore)
+		}
+		return runFixpointCLI(stdout, stderr, p, e, inputs, *fx,
+			sim.Options{QueueCap: *queueCap, Engine: kind, Trace: tr}, *check, *verbose, printTrace)
+	}
 	res, err := sim.Run(g, inputs, sim.Options{QueueCap: *queueCap, Engine: kind, Trace: tr})
 	if err != nil {
 		return fail(err)
@@ -308,6 +358,60 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		for _, p := range res.Output.Pts {
 			fmt.Fprintf(stdout, "  %v = %g\n", p.Crd, p.Val)
+		}
+	}
+	printTrace()
+	return 0
+}
+
+// runFixpointCLI drives -iterate mode: run the program to a fixpoint, print
+// the iteration summary, and — with -check — replay the identical iterations
+// against the dense gold evaluator under the same update rule.
+func runFixpointCLI(stdout, stderr io.Writer, p *sim.Program, e *lang.Einsum,
+	inputs map[string]*tensor.COO, fx sim.Fixpoint, opt sim.Options,
+	check, verbose bool, printTrace func()) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "samsim:", err)
+		return 1
+	}
+	res, err := sim.RunFixpoint(p, inputs, fx, opt)
+	if err != nil {
+		return fail(err)
+	}
+	for name, t := range inputs {
+		fmt.Fprintf(stdout, "input %-6s %v, %d nonzeros\n", name+":", t.Dims, t.NNZ())
+	}
+	fmt.Fprintf(stdout, "engine:      %s\n", res.Engine)
+	fmt.Fprintf(stdout, "iterations:  %d (%s mode, converged=%v)\n", res.Iterations, fx.Mode, res.Converged)
+	fmt.Fprintf(stdout, "delta:       %g (last L1 step)\n", res.Deltas[len(res.Deltas)-1])
+	if res.Cycles > 0 {
+		fmt.Fprintf(stdout, "cycles:      %d (total across iterations)\n", res.Cycles)
+	}
+	fmt.Fprintf(stdout, "output:      %v, %d nonzeros\n", res.Output.Dims, res.Output.NNZ())
+	if check {
+		x := inputs[fx.Var]
+		cur := make(map[string]*tensor.COO, len(inputs))
+		for k, v := range inputs {
+			cur[k] = v
+		}
+		for it := 0; it < res.Iterations; it++ {
+			want, err := lang.Gold(e, cur)
+			if err != nil {
+				return fail(err)
+			}
+			if x, _, err = fx.Apply(want, x); err != nil {
+				return fail(err)
+			}
+			cur[fx.Var] = x
+		}
+		if err := tensor.Equal(res.Output, x, 1e-6); err != nil {
+			return fail(fmt.Errorf("gold check FAILED: %w", err))
+		}
+		fmt.Fprintln(stdout, "gold check:  PASSED")
+	}
+	if verbose {
+		for _, pt := range res.Output.Pts {
+			fmt.Fprintf(stdout, "  %v = %g\n", pt.Crd, pt.Val)
 		}
 	}
 	printTrace()

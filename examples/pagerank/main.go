@@ -1,13 +1,14 @@
 // PageRank: graph analytics on the Sparse Abstract Machine. The paper's
 // introduction motivates sparse tensor algebra with graph analytics; this
-// example runs power iteration x' = d * A^T(i,j)*x(j) + (1-d)/N entirely as
-// compiled SAM graphs, one SpMV per iteration, reporting simulated cycles.
+// example runs damped power iteration x' = d·M(i,j)·x(j) + (1-d)/N through
+// sam.RunFixpoint — the program compiles once, every iteration is one SpMV
+// on the simulated machine, and the teleport update is the driver's
+// "pagerank" rule (the tile-sequencing host role of Figure 9).
 package main
 
 import (
 	"fmt"
 	"log"
-	"math"
 	"math/rand"
 
 	"sam"
@@ -43,55 +44,36 @@ func main() {
 	}
 	M.Sort()
 
-	// Rank vector starts uniform; teleport handled on the host between
-	// accelerator launches (the tile-sequencing role of Figure 9).
+	// Rank vector starts uniform.
 	x := sam.NewTensor("x", nodes)
 	for i := 0; i < nodes; i++ {
 		x.Append(1/float64(nodes), int64(i))
 	}
 
-	g, err := sam.Compile("y(i) = M(i,j) * x(j)",
+	p, err := sam.CompileProgram("y(i) = M(i,j) * x(j)",
 		sam.Formats{"x": sam.Uniform(1, sam.Dense)},
 		sam.Schedule{UseLocators: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	totalCycles := 0
-	for it := 0; it < iters; it++ {
-		res, err := sam.Simulate(g, sam.Inputs{"M": M, "x": x}, sam.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		totalCycles += res.Cycles
-		// Teleport + damping, and measure the update delta.
-		next := sam.NewTensor("x", nodes)
-		vals := make([]float64, nodes)
-		for _, p := range res.Output.Pts {
-			vals[p.Crd[0]] = damping * p.Val
-		}
-		delta := 0.0
-		xv := make([]float64, nodes)
-		for _, p := range x.Pts {
-			xv[p.Crd[0]] = p.Val
-		}
-		for i := 0; i < nodes; i++ {
-			v := vals[i] + (1-damping)/float64(nodes)
-			next.Append(v, int64(i))
-			delta += math.Abs(v - xv[i])
-		}
-		next.Sort()
-		x = next
-		fmt.Printf("iteration %2d: %7d cycles, L1 delta %.6f\n", it+1, res.Cycles, delta)
+	fr, err := sam.RunFixpoint(p, sam.Inputs{"M": M, "x": x},
+		sam.Fixpoint{Var: "x", MaxIters: iters, Mode: sam.FixpointPageRank, Damping: damping},
+		sam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it, delta := range fr.Deltas {
+		fmt.Printf("iteration %2d: L1 delta %.6f\n", it+1, delta)
 	}
 
 	best, bestV := 0, 0.0
-	for _, p := range x.Pts {
-		if p.Val > bestV {
-			bestV = p.Val
-			best = int(p.Crd[0])
+	for _, pt := range fr.Output.Pts {
+		if pt.Val > bestV {
+			bestV = pt.Val
+			best = int(pt.Crd[0])
 		}
 	}
-	fmt.Printf("\n%d iterations, %d total simulated cycles\n", iters, totalCycles)
+	fmt.Printf("\n%d iterations, %d total simulated cycles\n", fr.Iterations, fr.Cycles)
 	fmt.Printf("highest-ranked node: %d (score %.5f)\n", best, bestV)
 }

@@ -17,6 +17,9 @@ type programCache struct {
 	cap   int
 	order *list.List // front = most recent; values are *cacheEntry
 	items map[string]*list.Element
+	// flights dedups concurrent misses per key (see resolve): the first
+	// miss builds, everyone else waits on its result.
+	flights map[string]*flight
 
 	hits, misses, evictions int64
 }
@@ -26,11 +29,66 @@ type cacheEntry struct {
 	prog *sim.Program
 }
 
+// flight is one in-progress build all concurrent misses on a key share.
+type flight struct {
+	done   chan struct{}
+	prog   *sim.Program
+	source string
+	err    error
+}
+
 func newProgramCache(capacity int) *programCache {
 	if capacity <= 0 {
 		capacity = 128
 	}
-	return &programCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+	return &programCache{
+		cap: capacity, order: list.New(),
+		items: map[string]*list.Element{}, flights: map[string]*flight{},
+	}
+}
+
+// resolve returns the program for key, building it at most once across
+// concurrent callers: a hit returns immediately; the first miss runs build
+// (which reports its own source, "disk" or "miss") and inserts the result;
+// concurrent misses on the same key wait for that one build and count as
+// hits — the thundering herd that used to compile N times compiles once.
+// A failed build is not cached; its error propagates to every waiter (the
+// build depends only on the key, so their requests would fail identically).
+func (c *programCache) resolve(key string, build func() (*sim.Program, string, error)) (*sim.Program, string, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		prog := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		return prog, "hit", nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, "", f.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return f.prog, "hit", nil
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.prog, f.source, f.err = build()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.putLocked(key, f.prog)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.prog, f.source, f.err
 }
 
 // get returns the cached program for the key and records a hit or a miss.
@@ -48,12 +106,16 @@ func (c *programCache) get(key string) (*sim.Program, bool) {
 }
 
 // put inserts a compiled program, evicting the least recently used entry
-// beyond capacity. Concurrent misses on the same key may both compile and
-// both put; the entry is overwritten, which is benign — programs for equal
-// keys are interchangeable.
+// beyond capacity. Cold-path insertion goes through resolve, which dedups
+// concurrent misses; put remains for replacement (the engine self-heal
+// path), where overwriting is the point.
 func (c *programCache) put(key string, prog *sim.Program) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, prog)
+}
+
+func (c *programCache) putLocked(key string, prog *sim.Program) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*cacheEntry).prog = prog
 		c.order.MoveToFront(el)

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"sam/internal/custard"
 	"sam/internal/lang"
@@ -96,6 +99,145 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if _, _, _, size := c.stats(); size > 4 {
 		t.Fatalf("cache grew past capacity: %d", size)
+	}
+}
+
+// TestCacheSingleflight pins the thundering-herd fix: N concurrent misses
+// on one key must run the build exactly once, with every other caller
+// waiting for — and sharing — that result as a hit.
+func TestCacheSingleflight(t *testing.T) {
+	c := newProgramCache(8)
+	prog := testProgram(t, "x(i) = a(i) * b(i)")
+	var builds atomic.Int64
+	build := func() (*sim.Program, string, error) {
+		builds.Add(1)
+		time.Sleep(50 * time.Millisecond) // hold the flight open for the herd
+		return prog, "miss", nil
+	}
+
+	const callers = 16
+	start := make(chan struct{})
+	sources := make(chan string, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			got, src, err := c.resolve("k", build)
+			if err != nil {
+				t.Errorf("resolve: %v", err)
+				return
+			}
+			if got != prog {
+				t.Error("resolve returned a different program")
+			}
+			sources <- src
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(sources)
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for %d concurrent callers, want 1", n, callers)
+	}
+	var missN, hitN int
+	for src := range sources {
+		switch src {
+		case "miss":
+			missN++
+		case "hit":
+			hitN++
+		default:
+			t.Fatalf("unexpected source %q", src)
+		}
+	}
+	if missN != 1 || hitN != callers-1 {
+		t.Fatalf("sources: %d miss %d hit, want 1 and %d", missN, hitN, callers-1)
+	}
+	hits, misses, _, size := c.stats()
+	if hits != int64(callers-1) || misses != 1 || size != 1 {
+		t.Fatalf("stats = hits %d misses %d size %d", hits, misses, size)
+	}
+}
+
+// TestCacheSingleflightError checks a failed build propagates to every
+// waiter and caches nothing, so the next resolve rebuilds.
+func TestCacheSingleflightError(t *testing.T) {
+	c := newProgramCache(8)
+	boom := errors.New("compile exploded")
+	var builds atomic.Int64
+	failing := func() (*sim.Program, string, error) {
+		builds.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return nil, "", boom
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.resolve("k", failing)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter got %v, want the build error", err)
+		}
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("failing build ran %d times, want 1", n)
+	}
+
+	// Nothing cached: a later resolve builds again and can succeed.
+	prog := testProgram(t, "x(i) = a(i) * b(i)")
+	got, src, err := c.resolve("k", func() (*sim.Program, string, error) {
+		return prog, "miss", nil
+	})
+	if err != nil || got != prog || src != "miss" {
+		t.Fatalf("post-error resolve = %v, %q, %v", got, src, err)
+	}
+}
+
+// TestQueueDepthCountsRunning pins the sam_queue_depth fix: a job a worker
+// has picked up but not finished still counts toward depth. The old
+// len(ch)-only depth dropped to zero the instant the channel drained.
+func TestQueueDepthCountsRunning(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	q := newQueue(1, 4, 1, func(batch []*job) {
+		started <- struct{}{}
+		<-release
+	})
+	for i := 0; i < 3; i++ {
+		if err := q.submit(&job{id: fmt.Sprintf("d%d", i), done: make(chan struct{})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // worker holds job 0; jobs 1 and 2 sit in the channel
+	if got := q.depth(); got != 3 {
+		t.Fatalf("depth = %d with 1 running + 2 queued, want 3", got)
+	}
+	if q.running() != 1 || q.queued() != 2 {
+		t.Fatalf("running %d queued %d, want 1 and 2", q.running(), q.queued())
+	}
+	release <- struct{}{}
+	<-started // job 1 running, job 2 queued
+	if got := q.depth(); got != 2 {
+		t.Fatalf("depth = %d after one completion, want 2", got)
+	}
+	release <- struct{}{}
+	<-started
+	release <- struct{}{}
+	q.drain()
+	if got := q.depth(); got != 0 {
+		t.Fatalf("depth = %d after drain, want 0", got)
 	}
 }
 

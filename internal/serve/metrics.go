@@ -49,6 +49,13 @@ type metrics struct {
 	resolutions *obs.CounterVec
 	disk        *obs.CounterVec
 
+	// tensorOps counts named tensor store operations: put, delete, ref_hit
+	// and ref_miss ({"ref": name} resolutions), evict (budget evictions),
+	// bind_hit and bind_build (memoized fibertree reuse vs construction).
+	// The resident-count and resident-bytes gauges live in NewServer, which
+	// owns the store they read.
+	tensorOps *obs.CounterVec
+
 	// phaseDur holds per-phase latency: setup and queue_wait on every
 	// request, plus the engine's phases (bind, run, assemble, …) on traced
 	// ones.
@@ -87,6 +94,8 @@ func newMetrics() *metrics {
 			"Program resolutions by cache tier: mem (LRU hit), disk (artifact decode), compile (cold).", "tier"),
 		disk: reg.CounterVec("sam_disk_cache_total",
 			"Disk artifact store operations by event: hit, miss, write, error.", "event"),
+		tensorOps: reg.CounterVec("sam_tensor_store_ops_total",
+			"Named tensor store operations by op: put, delete, ref_hit, ref_miss, evict, bind_hit, bind_build.", "op"),
 		phaseDur: reg.HistogramVec("sam_phase_duration_seconds",
 			"Per-phase latency: setup and queue_wait on every request; bind, run, and assemble on traced runs.", nil, "phase"),
 	}
@@ -95,6 +104,9 @@ func newMetrics() *metrics {
 	}
 	for _, ev := range []string{"hit", "miss", "write", "error"} {
 		m.disk.With(ev)
+	}
+	for _, op := range []string{"put", "delete", "ref_hit", "ref_miss", "evict", "bind_hit", "bind_build"} {
+		m.tensorOps.With(op)
 	}
 	for _, ph := range []string{"setup", "queue_wait", "bind", "run", "assemble"} {
 		m.phaseDur.With(ph)

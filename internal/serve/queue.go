@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrQueueFull rejects a submission when the admission queue is at
@@ -24,6 +25,11 @@ type queue struct {
 	wg       sync.WaitGroup
 	batchMax int
 	run      func([]*job)
+	// inflight counts jobs a worker has picked up but not finished running.
+	// len(ch) alone undercounts the queue's admitted-but-unfinished load —
+	// the sam_queue_depth gauge used to go to zero the moment workers
+	// drained the channel, with every job still running.
+	inflight atomic.Int64
 }
 
 func newQueue(workers, depth, batchMax int, run func([]*job)) *queue {
@@ -59,8 +65,16 @@ func (q *queue) submit(j *job) error {
 	}
 }
 
-// depth is the number of queued (not yet running) jobs.
-func (q *queue) depth() int { return len(q.ch) }
+// depth is the number of admitted jobs still waiting or running: queued in
+// the channel plus picked up by a worker and not yet finished. This is the
+// load figure the sam_queue_depth gauge and /v1/stats report.
+func (q *queue) depth() int { return len(q.ch) + int(q.inflight.Load()) }
+
+// queued is the waiting-only component of depth.
+func (q *queue) queued() int { return len(q.ch) }
+
+// running is the in-flight component of depth: jobs a worker is executing.
+func (q *queue) running() int { return int(q.inflight.Load()) }
 
 // drain stops admission and waits for every queued and running job to
 // finish: the graceful-shutdown path. Safe to call more than once.
@@ -79,6 +93,7 @@ func (q *queue) drain() {
 func (q *queue) worker() {
 	defer q.wg.Done()
 	for j := range q.ch {
+		q.inflight.Add(1)
 		batch := []*job{j}
 	collect:
 		for len(batch) < q.batchMax {
@@ -87,11 +102,13 @@ func (q *queue) worker() {
 				if !ok {
 					break collect
 				}
+				q.inflight.Add(1)
 				batch = append(batch, j2)
 			default:
 				break collect
 			}
 		}
 		q.run(batch)
+		q.inflight.Add(int64(-len(batch)))
 	}
 }

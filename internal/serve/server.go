@@ -68,6 +68,12 @@ type Config struct {
 	// MaxBodyBytes bounds the request body; oversized payloads are rejected
 	// with 413 before decoding. Default 8 MiB.
 	MaxBodyBytes int64
+	// TensorBudgetBytes bounds the named tensor store's estimated resident
+	// bytes (PUT /v1/tensors/{name}): least-recently-used tensors not
+	// pinned by queued or running jobs are evicted beyond it, and a single
+	// tensor larger than the whole budget is rejected with 413. Default
+	// 256 MiB.
+	TensorBudgetBytes int64
 	// ArtifactDir, when non-empty, enables the persistent on-disk program
 	// cache: compiled programs are written as portable artifacts
 	// (internal/prog) keyed by canonical request key and format version, and
@@ -102,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.TensorBudgetBytes <= 0 {
+		c.TensorBudgetBytes = 256 << 20
+	}
 	if c.DefaultOpt < 0 {
 		c.DefaultOpt = 0
 	}
@@ -112,8 +121,10 @@ func (c Config) withDefaults() Config {
 }
 
 // finishedCap bounds how many completed job records the server retains for
-// GET /v1/jobs/{id}; the oldest are dropped beyond it.
-const finishedCap = 4096
+// GET /v1/jobs/{id}; the oldest are dropped beyond it. A variable, not a
+// constant, so the archive test can shrink the window to an exercisable
+// size.
+var finishedCap = 4096
 
 // Server is one SAM program service instance. Create it with NewServer,
 // mount it as an http.Handler, and Close it to drain gracefully.
@@ -121,6 +132,7 @@ type Server struct {
 	cfg     Config
 	cache   *programCache
 	disk    *diskCache // nil unless Config.ArtifactDir is set
+	tensors *tensorStore
 	queue   *queue
 	metrics *metrics
 	mux     *http.ServeMux
@@ -142,9 +154,12 @@ type job struct {
 	// at admission and ended when a worker picks the job up.
 	qw obs.Span
 	// sync marks a synchronous /v1/evaluate job: its id is never returned
-	// to the caller, so its record (and output tensor) is dropped on
-	// completion instead of being archived for GET /v1/jobs/{id}.
+	// to the caller, so it is never registered for polling and its record
+	// (and output tensor) is dropped on completion instead of being
+	// archived for GET /v1/jobs/{id}.
 	sync bool
+	// fx is set by the fixpoint runner before finish, for the response.
+	fx *FixpointInfo
 
 	// status, resp and errMsg are guarded by Server.mu.
 	status string
@@ -168,6 +183,13 @@ type prepared struct {
 	// within it.
 	begin time.Time
 	setup time.Duration
+	// refs maps each {"ref": name} input to the stored entry that resolved
+	// it. Entries are pinned from resolution until finish (or admission
+	// failure), keeping them safe from eviction while the job is queued or
+	// running; their version and fingerprint stamp the response.
+	refs map[string]*storedTensor
+	// fix is the validated fixpoint spec; nil for one-shot evaluation.
+	fix *sim.Fixpoint
 }
 
 // NewServer builds a service with the given sizing; zero fields take
@@ -183,16 +205,26 @@ func NewServer(cfg Config) *Server {
 	if cfg.ArtifactDir != "" {
 		s.disk = newDiskCache(cfg.ArtifactDir, s.metrics)
 	}
+	s.tensors = newTensorStore(cfg.TensorBudgetBytes, s.metrics)
 	s.queue = newQueue(cfg.Workers, cfg.QueueDepth, cfg.BatchMax, s.runBatch)
 	// Live gauges read their sources at scrape time, no update plumbing.
 	s.metrics.reg.GaugeFunc("sam_queue_depth", "Admitted jobs waiting or running in the queue.",
 		func() float64 { return float64(s.queue.depth()) })
+	s.metrics.reg.GaugeFunc("sam_queue_running", "Admitted jobs currently executing on a worker.",
+		func() float64 { return float64(s.queue.running()) })
 	s.metrics.reg.GaugeFunc("sam_cache_programs", "Compiled programs resident in the in-memory LRU.",
 		func() float64 { _, _, _, size := s.cache.stats(); return float64(size) })
+	s.metrics.reg.GaugeFunc("sam_tensor_store_tensors", "Named tensors resident in the store.",
+		func() float64 { n, _ := s.tensors.size(); return float64(n) })
+	s.metrics.reg.GaugeFunc("sam_tensor_store_bytes", "Estimated resident bytes of stored tensors, as charged to the budget.",
+		func() float64 { _, b := s.tensors.size(); return float64(b) })
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("/v1/jobs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	mux.HandleFunc("PUT /v1/tensors/{name}", s.instrument("/v1/tensors/{name}", s.handleTensorPut))
+	mux.HandleFunc("GET /v1/tensors/{name}", s.instrument("/v1/tensors/{name}", s.handleTensorGet))
+	mux.HandleFunc("DELETE /v1/tensors/{name}", s.instrument("/v1/tensors/{name}", s.handleTensorDelete))
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -325,12 +357,11 @@ func (s *Server) prepare(req *EvaluateRequest, tr *obs.Trace) (*prepared, error)
 		return sim.NewProgram(g)
 	}
 	key := lang.CanonicalKey(e, formats, sched)
+	// resolve dedups concurrent cold requests per key: the build closure
+	// below runs at most once however many requests miss together; waiters
+	// spend their cache_lookup span blocked on the leader's build.
 	lookup := adm.Child("cache_lookup")
-	prog, hit := s.cache.get(key)
-	lookup.End()
-	source := "hit"
-	if !hit {
-		source = "miss"
+	prog, source, err := s.cache.resolve(key, func() (*sim.Program, string, error) {
 		// Functional-engine requests can be served straight off a persisted
 		// artifact: decoding replaces custard, the optimizer, and lowering.
 		// Other engines need the source graph, so they skip the disk.
@@ -339,25 +370,26 @@ func (s *Server) prepare(req *EvaluateRequest, tr *obs.Trace) (*prepared, error)
 			p, ok := s.disk.load(key)
 			dl.End()
 			if ok {
-				prog, source = p, "disk"
+				return p, "disk", nil
 			}
 		}
-		if prog == nil {
-			cs := adm.Child("compile")
-			var err error
-			prog, err = compile()
-			cs.End()
-			if err != nil {
-				return nil, err
-			}
-			if s.disk != nil {
-				// Write-behind the artifact so a later cold process (or this
-				// one after eviction) can skip the compile we just paid.
-				// Best-effort: bitvector graphs have no artifact form.
-				s.disk.store(key, prog)
-			}
+		cs := adm.Child("compile")
+		p, err := compile()
+		cs.End()
+		if err != nil {
+			return nil, "", err
 		}
-		s.cache.put(key, prog)
+		if s.disk != nil {
+			// Write-behind the artifact so a later cold process (or this
+			// one after eviction) can skip the compile we just paid.
+			// Best-effort: bitvector graphs have no artifact form.
+			s.disk.store(key, p)
+		}
+		return p, "miss", nil
+	})
+	lookup.End()
+	if err != nil {
+		return nil, err
 	}
 
 	if err := prog.CheckEngine(opt.Engine); err != nil {
@@ -381,10 +413,27 @@ func (s *Server) prepare(req *EvaluateRequest, tr *obs.Trace) (*prepared, error)
 			return nil, err
 		}
 	}
-	setup := time.Since(begin)
-	inputs, err := decodeInputs(e, req.Inputs)
+	fix, err := req.Fixpoint.toFixpoint()
 	if err != nil {
 		return nil, err
+	}
+	setup := time.Since(begin)
+	inputs, refs, err := s.decodeInputs(e, req.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	// decodeInputs pinned every resolved ref; from here until the prepared
+	// request is handed off, any rejection must release them.
+	if fix != nil {
+		t, ok := inputs[fix.Var]
+		if !ok {
+			s.unpinRefs(refs)
+			return nil, fmt.Errorf("fixpoint var %q is not an input of %s", fix.Var, e)
+		}
+		if t.Order() != 1 {
+			s.unpinRefs(refs)
+			return nil, fmt.Errorf("fixpoint var %q has order %d, want an order-1 vector", fix.Var, t.Order())
+		}
 	}
 	engine := string(opt.Engine)
 	if engine == "" {
@@ -394,52 +443,104 @@ func (s *Server) prepare(req *EvaluateRequest, tr *obs.Trace) (*prepared, error)
 	tier := map[string]string{"hit": "mem", "disk": "disk", "miss": "compile"}[source]
 	s.metrics.resolutions.With(tier).Inc()
 	opt.Trace = tr
+	if len(refs) > 0 {
+		// Stored operands are immutable, so their built fibertrees are
+		// memoizable: warm references skip binding entirely.
+		opt.BindCache = s.tensors
+	}
 	return &prepared{
 		prog: prog, inputs: inputs, opt: opt, engine: engine,
 		key: key, cache: source, begin: begin, setup: setup,
+		refs: refs, fix: fix,
 	}, nil
+}
+
+// unpinRefs releases every stored-tensor pin a prepared request holds.
+func (s *Server) unpinRefs(refs map[string]*storedTensor) {
+	for _, e := range refs {
+		s.tensors.unpin(e)
+	}
 }
 
 // decodeInputs converts and validates the wire tensors against the
 // statement: every access needs an input of matching order, dimensions must
-// agree across shared index variables, and unused inputs are rejected.
-func decodeInputs(e *lang.Einsum, wire map[string]WireTensor) (map[string]*tensor.COO, error) {
+// agree across shared index variables, and unused inputs are rejected. An
+// input carrying {"ref": name} resolves against the tensor store — its
+// stored COO is shared read-only with the job, the entry is pinned against
+// eviction until the job finishes, and the returned refs map records the
+// resolved entries for unpinning and response stamping. On error every pin
+// already taken is released.
+func (s *Server) decodeInputs(e *lang.Einsum, wire map[string]WireTensor) (map[string]*tensor.COO, map[string]*storedTensor, error) {
 	inputs := make(map[string]*tensor.COO, len(wire))
+	var refs map[string]*storedTensor
+	fail := func(err error) (map[string]*tensor.COO, map[string]*storedTensor, error) {
+		s.unpinRefs(refs)
+		return nil, nil, err
+	}
 	used := map[string]bool{}
 	varDim := map[string]int{}
 	for _, a := range e.Accesses() {
 		wt, ok := wire[a.Tensor]
 		if !ok {
-			return nil, fmt.Errorf("no input for tensor %q", a.Tensor)
+			return fail(fmt.Errorf("no input for tensor %q", a.Tensor))
 		}
-		if len(wt.Dims) != len(a.Idx) {
-			return nil, fmt.Errorf("input %q has order %d, access %s wants order %d", a.Tensor, len(wt.Dims), a, len(a.Idx))
+		dims := wt.Dims
+		if wt.Ref != "" {
+			if wt.inline() {
+				return fail(fmt.Errorf("input %q carries both a ref and inline data", a.Tensor))
+			}
+			ent := refs[a.Tensor]
+			if ent == nil {
+				ent, ok = s.tensors.resolve(wt.Ref)
+				if !ok {
+					return fail(fmt.Errorf("input %q: no stored tensor %q (upload it with PUT /v1/tensors/%s)", a.Tensor, wt.Ref, wt.Ref))
+				}
+				if refs == nil {
+					refs = map[string]*storedTensor{}
+				}
+				refs[a.Tensor] = ent
+			}
+			dims = ent.coo.Dims
+		}
+		if len(dims) != len(a.Idx) {
+			return fail(fmt.Errorf("input %q has order %d, access %s wants order %d", a.Tensor, len(dims), a, len(a.Idx)))
 		}
 		for m, v := range a.Idx {
-			if d, seen := varDim[v]; seen && d != wt.Dims[m] {
-				return nil, fmt.Errorf("index %q is dimension %d in one access but %d in %s", v, d, wt.Dims[m], a)
+			if d, seen := varDim[v]; seen && d != dims[m] {
+				return fail(fmt.Errorf("index %q is dimension %d in one access but %d in %s", v, d, dims[m], a))
 			}
-			varDim[v] = wt.Dims[m]
+			varDim[v] = dims[m]
 		}
 		used[a.Tensor] = true
 		if _, done := inputs[a.Tensor]; done {
 			continue
 		}
+		if wt.Ref != "" {
+			inputs[a.Tensor] = refs[a.Tensor].coo
+			continue
+		}
 		t, err := wt.toCOO(a.Tensor)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		inputs[a.Tensor] = t
 	}
 	for name := range wire {
 		if !used[name] {
-			return nil, fmt.Errorf("input %q is not referenced by %s", name, e)
+			return fail(fmt.Errorf("input %q is not referenced by %s", name, e))
 		}
 	}
-	return inputs, nil
+	return inputs, refs, nil
 }
 
-// admit registers and enqueues a prepared request.
+// admit enqueues a prepared request and, for async jobs, registers it for
+// polling — only after the queue accepted it. Registering first opened a
+// race: a fast GET /v1/jobs/{id} could observe a job whose submission was
+// then rejected, a ghost that 404s moments later even though its id was
+// never returned to any client. Registration and submission share one
+// critical section, so a worker cannot observe (or finish) a job before it
+// is registered; sync jobs are never registered at all — their id never
+// leaves the server.
 func (s *Server) admit(prep *prepared, sync bool) (*job, error) {
 	j := &job{
 		id:     "j" + strconv.FormatInt(s.nextID.Add(1), 10),
@@ -449,16 +550,17 @@ func (s *Server) admit(prep *prepared, sync bool) (*job, error) {
 		status: "queued",
 		sync:   sync,
 	}
-	s.mu.Lock()
-	s.jobs[j.id] = j
-	s.mu.Unlock()
 	j.qw = prep.opt.Trace.Start("queue_wait")
-	if err := s.queue.submit(j); err != nil {
+	s.mu.Lock()
+	err := s.queue.submit(j)
+	if err == nil && !sync {
+		s.jobs[j.id] = j
+	}
+	s.mu.Unlock()
+	if err != nil {
 		j.qw.End()
-		s.mu.Lock()
-		delete(s.jobs, j.id)
-		s.mu.Unlock()
 		s.metrics.reject()
+		s.unpinRefs(prep.refs)
 		return nil, err
 	}
 	s.metrics.admit()
@@ -482,6 +584,12 @@ func (s *Server) runBatch(batch []*job) {
 
 	groups := map[sim.Options][]*job{}
 	for _, j := range batch {
+		if j.prep.fix != nil {
+			// Fixpoint jobs iterate one program to convergence; they run
+			// individually instead of coalescing into a micro-batch.
+			s.runFixpointJob(j)
+			continue
+		}
 		groups[j.prep.opt] = append(groups[j.prep.opt], j)
 	}
 	for opt, group := range groups {
@@ -508,6 +616,32 @@ func (s *Server) runBatch(batch []*job) {
 			s.finish(j, results[i], "")
 		}
 	}
+}
+
+// runFixpointJob drives one fixpoint request through sim.RunFixpoint. The
+// per-iteration cost is exactly what the store amortizes: no re-upload, no
+// re-compile, and — for stored refs — no re-bind of the static operands.
+func (s *Server) runFixpointJob(j *job) {
+	fr, err := sim.RunFixpoint(j.prep.prog, j.prep.inputs, *j.prep.fix, j.prep.opt)
+	if err != nil {
+		s.finish(j, nil, err.Error())
+		return
+	}
+	j.fx = &FixpointInfo{Iterations: fr.Iterations, Converged: fr.Converged, Deltas: fr.Deltas}
+	s.finish(j, &sim.Result{Cycles: fr.Cycles, Output: fr.Output, Engine: fr.Engine}, "")
+}
+
+// refStamps renders a prepared request's resolved stored tensors for the
+// response.
+func refStamps(refs map[string]*storedTensor) map[string]TensorRef {
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make(map[string]TensorRef, len(refs))
+	for name, e := range refs {
+		out[name] = TensorRef{Version: e.version, Fingerprint: e.fp}
+	}
+	return out
 }
 
 // finish publishes a job's outcome and records metrics.
@@ -544,6 +678,8 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 			ElapsedNS:   elapsed.Nanoseconds(),
 			TraceID:     tr.ID(),
 			Trace:       tr.Spans(),
+			Tensors:     refStamps(j.prep.refs),
+			Fixpoint:    j.fx,
 		}
 	}
 	if j.sync {
@@ -558,6 +694,9 @@ func (s *Server) finish(j *job, res *sim.Result, errMsg string) {
 		}
 	}
 	s.mu.Unlock()
+	// The job is done either way: release its stored-tensor pins so the
+	// entries become evictable again.
+	s.unpinRefs(j.prep.refs)
 	if errMsg != "" {
 		s.metrics.fail()
 		s.metrics.observe(elapsed, 0)
@@ -581,11 +720,28 @@ type StatsResponse struct {
 	// that fell through to the compiler, writes are artifacts persisted, and
 	// errors count corrupt/unwritable files (corrupt artifacts are deleted
 	// and recount as misses). All zero when the disk cache is disabled.
-	DiskHits        int64   `json:"disk_hits"`
-	DiskMisses      int64   `json:"disk_misses"`
-	DiskWrites      int64   `json:"disk_writes"`
-	DiskErrors      int64   `json:"disk_errors"`
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"`
+	// Tensors* report the named operand store (PUT /v1/tensors/{name}):
+	// resident entries and estimated bytes, uploads, deletes, {"ref": name}
+	// resolutions by outcome, budget evictions, and the memoized-binding
+	// split — bind hits reuse a fibertree built by an earlier run, bind
+	// builds paid construction and cached the result.
+	TensorsStored     int   `json:"tensors_stored"`
+	TensorsBytes      int64 `json:"tensors_bytes"`
+	TensorsPuts       int64 `json:"tensors_puts"`
+	TensorsDeletes    int64 `json:"tensors_deletes"`
+	TensorsRefHits    int64 `json:"tensors_ref_hits"`
+	TensorsRefMisses  int64 `json:"tensors_ref_misses"`
+	TensorsEvictions  int64 `json:"tensors_evictions"`
+	TensorsBindHits   int64 `json:"tensors_bind_hits"`
+	TensorsBindBuilds int64 `json:"tensors_bind_builds"`
+	// QueueDepth counts admitted jobs still waiting or running;
+	// QueueRunning is its executing-on-a-worker component.
 	QueueDepth      int     `json:"queue_depth"`
+	QueueRunning    int     `json:"queue_running"`
 	Workers         int     `json:"workers"`
 	CyclesSimulated int64   `json:"cycles_simulated"`
 	LatencyP50MS    float64 `json:"latency_p50_ms"`
@@ -603,12 +759,19 @@ func (s *Server) Stats() StatsResponse {
 	hits, misses, evictions, size := s.cache.stats()
 	p50, p99 := s.metrics.percentiles()
 	engineRuns, fallbacks := s.metrics.engines()
+	ten := s.tensors.stats()
 	resp := StatsResponse{
 		Requests: requests, Rejected: rejected, Failures: failures,
 		CacheHits: hits, CacheMisses: misses, CacheEvictions: evictions,
-		CachePrograms: size, QueueDepth: s.queue.depth(), Workers: s.cfg.Workers,
+		CachePrograms: size, QueueDepth: s.queue.depth(), QueueRunning: s.queue.running(),
+		Workers:         s.cfg.Workers,
 		CyclesSimulated: cycles, LatencyP50MS: p50, LatencyP99MS: p99,
 		EngineRuns: engineRuns, EngineFallbacks: fallbacks,
+		TensorsStored: ten.stored, TensorsBytes: ten.bytes,
+		TensorsPuts: ten.puts, TensorsDeletes: ten.deletes,
+		TensorsRefHits: ten.refHits, TensorsRefMisses: ten.refMisses,
+		TensorsEvictions: ten.evictions,
+		TensorsBindHits:  ten.bindHits, TensorsBindBuilds: ten.bindBuilds,
 	}
 	if s.disk != nil {
 		resp.DiskHits, resp.DiskMisses, resp.DiskWrites, resp.DiskErrors = s.disk.stats()
@@ -691,25 +854,90 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleTensorPut stores (or replaces) a named tensor. The body is the COO
+// wire format — inline data only; a ref makes no sense on upload.
+func (s *Server) handleTensorPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var wt WireTensor
+	if !s.decodeBody(w, r, &wt) {
+		return
+	}
+	if wt.Ref != "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tensor upload must carry inline data, not a ref"))
+		return
+	}
+	coo, err := wt.toCOO(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ent, err := s.tensors.put(name, coo)
+	if err != nil {
+		// Over-budget uploads can never be admitted; same class as an
+		// oversized request body.
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ent.info())
+}
+
+// handleTensorGet reports a stored tensor's metadata; ?data=1 includes the
+// tensor itself.
+func (s *Server) handleTensorGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ent, ok := s.tensors.get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no stored tensor %q", name)})
+		return
+	}
+	info := ent.info()
+	if v := r.URL.Query().Get("data"); v != "" && v != "0" {
+		wt := fromCOO(ent.coo)
+		info.Data = &wt
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleTensorDelete removes a stored tensor. Queued and running jobs that
+// already resolved it keep their (pinned, immutable) entry; only the name
+// is freed.
+func (s *Server) handleTensorDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.tensors.delete(name) {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("no stored tensor %q", name)})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 // decodeRequest reads and strictly decodes an evaluation body; unknown
 // fields are rejected so client typos fail loudly, and bodies beyond
 // Config.MaxBodyBytes are rejected with 413 before buffering unboundedly.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*EvaluateRequest, bool) {
+	var req EvaluateRequest
+	if !s.decodeBody(w, r, &req) {
+		return nil, false
+	}
+	return &req, true
+}
+
+// decodeBody strictly decodes any JSON request body under the configured
+// size bound, writing the error response itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	var req EvaluateRequest
-	if err := dec.Decode(&req); err != nil {
+	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
-			return nil, false
+			return false
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return nil, false
+		return false
 	}
-	return &req, true
+	return true
 }
 
 // writeAdmissionError maps queue rejection onto HTTP backpressure codes.

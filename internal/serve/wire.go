@@ -13,11 +13,21 @@ import (
 
 // WireTensor is the COO tensor wire format: parallel coordinate and value
 // lists. An order-0 tensor (a scalar operand) has empty dims, no coords, and
-// exactly one value.
+// exactly one value. As an evaluation input it may instead carry Ref — the
+// name of a tensor previously uploaded with PUT /v1/tensors/{name} — and no
+// inline data; the server resolves the stored tensor and stamps its version
+// and fingerprint into the response.
 type WireTensor struct {
-	Dims   []int     `json:"dims"`
+	Dims   []int     `json:"dims,omitempty"`
 	Coords [][]int64 `json:"coords,omitempty"`
-	Values []float64 `json:"values"`
+	Values []float64 `json:"values,omitempty"`
+	Ref    string    `json:"ref,omitempty"`
+}
+
+// inline reports whether any inline tensor data is present; a well-formed
+// input carries either a ref or inline data, never both.
+func (w WireTensor) inline() bool {
+	return len(w.Dims) > 0 || len(w.Coords) > 0 || len(w.Values) > 0
 }
 
 // WireFormat is one tensor's format specification on the wire: per-level
@@ -55,6 +65,39 @@ type WireOptions struct {
 	MaxCycles int `json:"max_cycles,omitempty"`
 }
 
+// WireFixpoint asks for iterative evaluation: the compiled program is run
+// repeatedly and its output folded back into the input named Var until
+// convergence (see sim.Fixpoint). Stored-tensor refs make this the cheap
+// loop it should be: static operands upload once, bind once, and every
+// iteration pays only the run itself.
+type WireFixpoint struct {
+	// Var names the state input the update rule rewrites between
+	// iterations (an order-1 tensor; inline or a ref).
+	Var string `json:"var"`
+	// MaxIters bounds the iteration count; required, in [1, 100000].
+	MaxIters int `json:"max_iters"`
+	// Tol stops iteration once one update's L1 delta falls to or below it;
+	// 0 runs exactly MaxIters iterations.
+	Tol float64 `json:"tol,omitempty"`
+	// Mode selects the update rule: "power" (default), "pagerank", or
+	// "reach".
+	Mode string `json:"mode,omitempty"`
+	// Damping is the pagerank damping factor; 0 means 0.85.
+	Damping float64 `json:"damping,omitempty"`
+}
+
+// toFixpoint converts and validates the wire spec.
+func (w *WireFixpoint) toFixpoint() (*sim.Fixpoint, error) {
+	if w == nil {
+		return nil, nil
+	}
+	fx := sim.Fixpoint{Var: w.Var, MaxIters: w.MaxIters, Tol: w.Tol, Mode: w.Mode, Damping: w.Damping}
+	if err := fx.Validate(); err != nil {
+		return nil, err
+	}
+	return &fx, nil
+}
+
 // EvaluateRequest is the body of POST /v1/evaluate and POST /v1/jobs.
 type EvaluateRequest struct {
 	Expr     string                `json:"expr"`
@@ -62,6 +105,43 @@ type EvaluateRequest struct {
 	Schedule *WireSchedule         `json:"schedule,omitempty"`
 	Options  *WireOptions          `json:"options,omitempty"`
 	Inputs   map[string]WireTensor `json:"inputs"`
+	// Fixpoint, when set, runs the program iteratively instead of once.
+	Fixpoint *WireFixpoint `json:"fixpoint,omitempty"`
+}
+
+// TensorInfo describes one stored tensor: the body of PUT and GET
+// /v1/tensors/{name}.
+type TensorInfo struct {
+	Name string `json:"name"`
+	// Version increments on every PUT (store-wide monotonic); a client
+	// comparing it against the version stamped in an evaluation response
+	// detects concurrent replacement.
+	Version int64 `json:"version"`
+	// Fingerprint hashes the tensor content (dims, coords, value bits):
+	// identical uploads fingerprint identically across versions.
+	Fingerprint string `json:"fingerprint"`
+	Dims        []int  `json:"dims"`
+	NNZ         int    `json:"nnz"`
+	// Bytes is the store's resident-size estimate charged to the budget.
+	Bytes int64 `json:"bytes"`
+	// Data is the tensor itself, included by GET /v1/tensors/{name}?data=1.
+	Data *WireTensor `json:"data,omitempty"`
+}
+
+// TensorRef stamps which stored tensor version served a {"ref": name}
+// input, so clients detect replacement that raced their evaluation.
+type TensorRef struct {
+	Version     int64  `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// FixpointInfo reports the iterative driver's outcome in an evaluation
+// response.
+type FixpointInfo struct {
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	// Deltas is the L1 step delta of every iteration, in order.
+	Deltas []float64 `json:"deltas"`
 }
 
 // EvaluateResponse is the body of a successful evaluation.
@@ -100,6 +180,14 @@ type EvaluateResponse struct {
 	// same slice; -1 marks a top-level span.
 	TraceID string         `json:"trace_id,omitempty"`
 	Trace   []obs.SpanData `json:"trace,omitempty"`
+	// Tensors stamps, per {"ref": name} input, the stored tensor version
+	// and content fingerprint that served it; absent when every input was
+	// inline.
+	Tensors map[string]TensorRef `json:"tensors,omitempty"`
+	// Fixpoint reports the iterative driver's convergence when the request
+	// carried a fixpoint spec; Cycles and Output then cover the whole
+	// iteration, not one run.
+	Fixpoint *FixpointInfo `json:"fixpoint,omitempty"`
 }
 
 // JobResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.

@@ -296,7 +296,7 @@ func (e byteEngine) RunProgram(p *Program, inputs map[string]*tensor.COO, opt Op
 // from — a direct lowering or a decoded artifact.
 func runCompiled(p *Program, cp *comp.Program, inputs map[string]*tensor.COO, opt Options, kind EngineKind) (*Result, error) {
 	mark := opt.Trace.Len()
-	bound, err := p.plan.OperandsTraced(inputs, opt.Trace)
+	bound, err := p.plan.BindTraced(inputs, opt.BindCache, opt.Trace)
 	if err != nil {
 		return nil, err
 	}

@@ -21,6 +21,7 @@ package sim
 import (
 	"fmt"
 
+	"sam/internal/bind"
 	"sam/internal/core"
 	"sam/internal/fiber"
 	"sam/internal/graph"
@@ -48,6 +49,14 @@ type Options struct {
 	// Being a pointer keeps Options comparable, which batch grouping relies
 	// on; traced runs simply never coalesce with other requests.
 	Trace *obs.Trace
+	// BindCache, when non-nil, memoizes built operand storage across runs
+	// (see bind.Cache). Serving supplies its named tensor store here so warm
+	// stored-tensor references skip fibertree construction entirely; the
+	// cache decides which sources it manages, so inline operands pass
+	// through unmemoized. Implementations are pointer-shaped, keeping
+	// Options comparable for batch grouping — runs sharing one cache still
+	// coalesce.
+	BindCache bind.Cache
 }
 
 // Result carries the outcome of a simulation.
@@ -113,7 +122,7 @@ func newBuilder(p *Program, inputs map[string]*tensor.COO, opt Options) (*builde
 		crdWr: map[int]*core.CrdWriter{}, bvWr: map[int]*core.BVWriter{},
 	}
 	var err error
-	if b.bound, err = p.plan.OperandsTraced(inputs, opt.Trace); err != nil {
+	if b.bound, err = p.plan.BindTraced(inputs, opt.BindCache, opt.Trace); err != nil {
 		return nil, err
 	}
 	wire := opt.Trace.Start("wire")

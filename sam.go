@@ -337,6 +337,42 @@ func CompileProgram(expr string, formats Formats, sched Schedule) (*Program, err
 	return sim.NewProgram(g)
 }
 
+// Fixpoint describes an iterative driver around one compiled program: the
+// program runs repeatedly with its output folded back into the input named
+// Fixpoint.Var by the selected update rule (power iteration, damped
+// PageRank, or monotone reachability) until the L1 step delta reaches
+// Fixpoint.Tol or MaxIters runs complete. The program compiles once; every
+// iteration reuses it.
+type Fixpoint = sim.Fixpoint
+
+// FixpointResult reports a fixpoint run: final state, iteration count,
+// convergence, per-iteration deltas, and total simulated cycles.
+type FixpointResult = sim.FixpointResult
+
+// Fixpoint update rules for Fixpoint.Mode: plain power iteration (x' = y),
+// the damped PageRank update (x'ᵢ = d·yᵢ + (1−d)/N), and monotone
+// reachability saturation (x'ᵢ = 1 where xᵢ ≠ 0 or yᵢ ≠ 0 — frontier-less
+// BFS when the program computes y = A·x).
+const (
+	FixpointPower    = sim.FixpointPower
+	FixpointPageRank = sim.FixpointPageRank
+	FixpointReach    = sim.FixpointReach
+)
+
+// RunFixpoint drives a compiled program to a fixpoint, the library form of
+// the PageRank/BFS loop (samsim -iterate and the server's fixpoint requests
+// use the same driver):
+//
+//	p, err := sam.CompileProgram("y(i) = M(i,j) * x(j)", nil, sam.Schedule{})
+//	fr, err := sam.RunFixpoint(p, sam.Inputs{"M": m, "x": x0},
+//		sam.Fixpoint{Var: "x", MaxIters: 50, Tol: 1e-9, Mode: sam.FixpointPageRank},
+//		sam.Options{Engine: sam.EngineComp})
+//
+// The caller's inputs map is not mutated; fr.Output is the converged state.
+func RunFixpoint(p *Program, inputs Inputs, fx Fixpoint, opt Options) (*FixpointResult, error) {
+	return sim.RunFixpoint(p, inputs, fx, opt)
+}
+
 // EncodeProgram serializes a compiled graph's lowered program into the
 // portable artifact format (internal/prog): a versioned, CRC-checksummed
 // byte form carrying the step bytecode, flat dispatch tables, operand
