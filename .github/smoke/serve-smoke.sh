@@ -3,7 +3,10 @@
 # engine and one on the compiled engine, upload the same operands as named
 # tensors and re-evaluate by {"ref": name}, assert the /v1/stats counters
 # (per-engine run counts, zero fallbacks, tensor-store activity), then
-# drain on SIGINT.
+# drain on SIGINT. Then the sharded topology: 2 shards behind a router,
+# routed gold output, aggregated stats, shard-labeled metrics, and a
+# kill-a-shard drill (ejection, 503 + Retry-After, remap to the survivor,
+# revive, rejoin).
 set -euo pipefail
 
 ./samserve -addr 127.0.0.1:8345 &
@@ -96,3 +99,109 @@ fi
 
 kill -INT "$SERVER"
 wait "$SERVER"
+
+# --- Sharded topology: 2 shards + consistent-hash router -------------------
+
+S0=127.0.0.1:18345
+S1=127.0.0.1:18346
+RT=127.0.0.1:18400
+
+./samserve -addr "$S0" &
+SH0=$!
+./samserve -addr "$S1" &
+SH1=$!
+for addr in "$S0" "$S1"; do
+  for i in $(seq 1 50); do
+    curl -sf "$addr/readyz" > /dev/null && break
+    sleep 0.1
+  done
+  curl -sf "$addr/healthz" | grep -q '"status":"ok"'
+  curl -sf "$addr/readyz" | grep -q '"status":"ready"'
+done
+
+# A slow probe interval keeps the kill drill deterministic: the dead shard
+# is ejected by the 503'd proxy attempt below, not by a racing probe.
+./samserve -addr "$RT" -route "http://$S0,http://$S1" -probeinterval 2s &
+ROUTER=$!
+for i in $(seq 1 50); do
+  curl -sf "$RT/readyz" > /dev/null && break
+  sleep 0.1
+done
+curl -sf "$RT/readyz" | grep -q '"status":"ready"'
+
+# The routed evaluate is bit-identical to a single node's.
+curl -sf -X POST "$RT/v1/evaluate" \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate.json | tee rsmoke.json
+grep -q '"coords":\[\[0\],\[1\]\]' rsmoke.json
+grep -q '"values":\[19,21\]' rsmoke.json
+grep -q '"cache":"miss"' rsmoke.json
+grep -q '"engine":"event"' rsmoke.json
+
+# Aggregated stats: the fleet aggregate plus per-shard rows.
+curl -sf "$RT/v1/stats" | tee rstats.json
+grep -q '"aggregate":{' rstats.json
+grep -q '"shards_live":2' rstats.json
+grep -q '"shards_total":2' rstats.json
+grep -q '"router_requests":1' rstats.json
+grep -q '"router_ejections":0' rstats.json
+
+# Merged metrics: every shard series carries shard="sN", family headers
+# are deduplicated across shards, and the router families are present.
+curl -sf "$RT/metrics" | tee rmetrics.txt
+grep -q '^sam_router_shards_live 2' rmetrics.txt
+grep -q '^sam_router_requests_total{shard="s' rmetrics.txt
+grep -q 'shard="s0"' rmetrics.txt
+grep -q 'shard="s1"' rmetrics.txt
+test "$(grep -c '^# TYPE sam_queue_depth ' rmetrics.txt)" = 1
+
+# Kill the shard that owns the smoke kernel's key (the one that served the
+# routed evaluate: occurrence 1 of "requests" is the aggregate, 2 is s0,
+# 3 is s1). The next request for that key hits the dead owner — 503 with
+# Retry-After — and ejects it; the one after remaps to the survivor.
+R0=$(grep -o '"requests":[0-9]*' rstats.json | sed -n 2p | cut -d: -f2)
+if [ "$R0" -gt 0 ]; then
+  VICTIM=$SH0 VICTIM_ADDR=$S0
+else
+  VICTIM=$SH1 VICTIM_ADDR=$S1
+fi
+kill -9 "$VICTIM"
+CODE=$(curl -s -o r503.json -D r503-headers.txt -w '%{http_code}' \
+  -X POST "$RT/v1/evaluate" -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate.json)
+test "$CODE" = 503
+grep -qi '^retry-after:' r503-headers.txt
+curl -sf -X POST "$RT/v1/evaluate" \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate.json | tee rremap.json
+grep -q '"values":\[19,21\]' rremap.json
+
+for i in $(seq 1 100); do
+  curl -sf "$RT/v1/stats" > rstats-down.json
+  grep -q '"shards_live":1' rstats-down.json && break
+  sleep 0.1
+done
+grep -q '"shards_live":1' rstats-down.json
+grep -qE '"router_ejections":[1-9]' rstats-down.json
+curl -sf "$RT/readyz" | grep -q '"status":"ready"'
+
+# Revive the shard at the same address; the backoff re-probe rejoins it.
+./samserve -addr "$VICTIM_ADDR" &
+REVIVED=$!
+for i in $(seq 1 200); do
+  curl -sf "$RT/v1/stats" > rstats-up.json
+  grep -q '"shards_live":2' rstats-up.json && break
+  sleep 0.1
+done
+grep -q '"shards_live":2' rstats-up.json
+grep -qE '"router_rejoins":[1-9]' rstats-up.json
+curl -sf -X POST "$RT/v1/evaluate" \
+  -H 'Content-Type: application/json' \
+  -d @.github/smoke/evaluate.json | tee rback.json
+grep -q '"values":\[19,21\]' rback.json
+
+if [ "$VICTIM" = "$SH0" ]; then SURVIVOR=$SH1; else SURVIVOR=$SH0; fi
+kill -INT "$ROUTER"
+wait "$ROUTER"
+kill -INT "$SURVIVOR" "$REVIVED"
+wait "$SURVIVOR" "$REVIVED"

@@ -17,10 +17,11 @@
 //	sambench -exp artifact -json > BENCH_PR7.json # program-artifact encode/decode/serve study
 //	sambench -exp obs -json > BENCH_PR8.json   # observability-cost study
 //	sambench -exp state -json > BENCH_PR9.json # named-operand-store study
+//	sambench -exp shard -json > BENCH_PR10.json # sharded-router fleet study
 //
 // Experiments: table1, table2, fig11, fig12, fig13a, fig13b, fig13c, fig14,
 // fig15, pointlevel, engines, parallel, serve, opt, comp, throughput,
-// artifact, obs, state.
+// artifact, obs, state, shard.
 package main
 
 import (
@@ -39,7 +40,7 @@ import (
 	"sam/internal/sim"
 )
 
-var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact", "obs", "state"}
+var all = []string{"table1", "table2", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14", "fig15", "pointlevel", "engines", "parallel", "serve", "opt", "comp", "throughput", "artifact", "obs", "state", "shard"}
 
 // jsonResult is the machine-readable record emitted per experiment with
 // -json, so perf trajectories can be tracked across PRs in BENCH_*.json.
@@ -274,6 +275,12 @@ func run(name string, seed int64, scale float64, lanes []int) (string, any, erro
 			return "", nil, err
 		}
 		return experiments.RenderState(res), res, nil
+	case "shard":
+		res, err := experiments.ShardStudy(seed, scale, nil)
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.RenderShard(res), res, nil
 	}
 	return "", nil, fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 }

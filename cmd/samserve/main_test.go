@@ -217,6 +217,126 @@ func TestBadFlags(t *testing.T) {
 	}
 }
 
+// TestRouterFlags checks mode separation: flags that size a local shard are
+// rejected in router mode, router-only flags are rejected in server mode,
+// and a router needs at least one shard URL.
+func TestRouterFlags(t *testing.T) {
+	routerOnly := [][]string{
+		{"-probeinterval", "1s"},
+		{"-tilethreshold", "1024"},
+	}
+	for _, args := range routerOnly {
+		var stdout, stderr syncBuffer
+		if code := realMain(args, &stdout, &stderr, nil); code != 2 {
+			t.Errorf("server mode accepted %v (exit %d, want 2)", args, code)
+		}
+	}
+	serverOnly := [][]string{
+		{"-workers", "8"}, {"-queue", "16"}, {"-cache", "8"}, {"-batch", "2"},
+		{"-O", "1"}, {"-tensorbudget", "1024"}, {"-artifacts", "/tmp/x"},
+		{"-pprof"}, {"-warm", "x(i) = B(i,j) * c(j)"},
+	}
+	for _, args := range serverOnly {
+		var stdout, stderr syncBuffer
+		args = append([]string{"-route", "http://127.0.0.1:1"}, args...)
+		if code := realMain(args, &stdout, &stderr, nil); code != 2 {
+			t.Errorf("router mode accepted %v (exit %d, want 2)", args, code)
+		}
+	}
+	var stdout, stderr syncBuffer
+	if code := realMain([]string{"-route", " , "}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("empty shard list exit %d, want 2", code)
+	}
+}
+
+// TestSmokeRouter boots two real shards and a router over them, runs one
+// evaluation through the routed path plus readiness and stats reads, then
+// shuts all three down via the signal path.
+func TestSmokeRouter(t *testing.T) {
+	re := regexp.MustCompile(`(listening|routing) on (http://[^ ]+)`)
+	boot := func(args ...string) (base string, stop chan os.Signal, exit chan int, stderr *syncBuffer) {
+		var out syncBuffer
+		stderr = &syncBuffer{}
+		stop = make(chan os.Signal, 1)
+		exit = make(chan int, 1)
+		go func() { exit <- realMain(args, &out, stderr, stop) }()
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if m := re.FindStringSubmatch(out.String()); m != nil {
+				return m[2], stop, exit, stderr
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%v never announced its address; stderr: %s", args, stderr.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	shard1, stop1, exit1, _ := boot("-addr", "127.0.0.1:0", "-workers", "2")
+	shard2, stop2, exit2, _ := boot("-addr", "127.0.0.1:0", "-workers", "2")
+	router, stopR, exitR, errR := boot("-addr", "127.0.0.1:0", "-route", shard1+","+shard2, "-probeinterval", "50ms")
+
+	resp, err := http.Get(router + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router /readyz: status %d", resp.StatusCode)
+	}
+
+	body := `{
+	  "expr": "x(i) = B(i,j) * c(j)",
+	  "inputs": {
+	    "B": {"dims": [2,2], "coords": [[0,0],[0,1],[1,1]], "values": [1,2,3]},
+	    "c": {"dims": [2], "coords": [[0],[1]], "values": [5,7]}
+	  }
+	}`
+	resp, err = http.Post(router+"/v1/evaluate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er struct {
+		Output struct {
+			Values []float64 `json:"values"`
+		} `json:"output"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(er.Output.Values) != 2 || er.Output.Values[0] != 19 || er.Output.Values[1] != 21 {
+		t.Fatalf("routed evaluate: status %d output %+v, want [19 21]", resp.StatusCode, er.Output.Values)
+	}
+
+	resp, err = http.Get(router + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ShardsLive int `json:"shards_live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.ShardsLive != 2 {
+		t.Fatalf("router stats shards_live %d, want 2", st.ShardsLive)
+	}
+
+	for _, s := range []chan os.Signal{stopR, stop1, stop2} {
+		s <- os.Interrupt
+	}
+	for i, e := range []chan int{exitR, exit1, exit2} {
+		select {
+		case code := <-e:
+			if code != 0 {
+				t.Fatalf("process %d exit code %d; router stderr: %s", i, code, errR.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("process %d did not exit after signal", i)
+		}
+	}
+}
+
 // TestSmokeObservability boots the server with -pprof and -logrequests,
 // checks the pprof index answers, scrapes /metrics for the core families,
 // and verifies the access log carried a structured line for the request.

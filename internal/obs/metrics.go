@@ -229,7 +229,36 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.sum.Load()) 
 // is the histogram trade: bounded memory for bounded error, instead of the
 // unbounded sort window it replaces.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.s.count.Load()
+	counts := make([]int64, len(h.s.counts))
+	for i := range h.s.counts {
+		counts[i] = h.s.counts[i].Load()
+	}
+	return QuantileFromBuckets(h.buckets, counts, q)
+}
+
+// BucketCounts snapshots the non-cumulative per-bucket observation counts,
+// with the +Inf bucket last (len(bounds)+1 entries).
+func (h *Histogram) BucketCounts() []int64 {
+	counts := make([]int64, len(h.s.counts))
+	for i := range h.s.counts {
+		counts[i] = h.s.counts[i].Load()
+	}
+	return counts
+}
+
+// QuantileFromBuckets estimates the q-quantile from a histogram's bucket
+// layout: bounds are the bucket upper bounds and counts the non-cumulative
+// per-bucket observation counts with the final +Inf bucket last
+// (len(bounds)+1 entries). It is the Histogram.Quantile math exported for
+// aggregators: histograms with one bucket layout merge exactly by summing
+// counts element-wise, so a scale-out tier (the samserve router) can compute
+// true fleet-wide percentiles instead of averaging per-shard percentiles —
+// which is not a percentile of anything.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
@@ -238,18 +267,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 		rank = 1
 	}
 	var cum int64
-	for i := range h.s.counts {
-		n := h.s.counts[i].Load()
+	for i, n := range counts {
 		if cum+n >= rank {
 			lo := 0.0
-			if i > 0 {
-				lo = h.buckets[i-1]
+			if i > 0 && i-1 < len(bounds) {
+				lo = bounds[i-1]
 			}
-			if i == len(h.buckets) {
+			if i >= len(bounds) {
 				// +Inf bucket: no upper bound to interpolate toward.
 				return lo
 			}
-			hi := h.buckets[i]
+			hi := bounds[i]
 			if n == 0 {
 				return hi
 			}
@@ -257,7 +285,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += n
 	}
-	return h.buckets[len(h.buckets)-1]
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
 }
 
 // HistogramVec is a labeled histogram family.

@@ -61,6 +61,12 @@ type metrics struct {
 	// ones.
 	phaseDur *obs.HistogramVec
 
+	// jobLat is the completed-job latency histogram. Unlike the sliding
+	// window below it is mergeable: a router aggregating many shards sums
+	// bucket counts element-wise and derives true fleet-wide percentiles
+	// (obs.QuantileFromBuckets) instead of averaging per-shard percentiles.
+	jobLat *obs.Histogram
+
 	mu        sync.Mutex
 	latencies []time.Duration
 	latNext   int
@@ -98,6 +104,8 @@ func newMetrics() *metrics {
 			"Named tensor store operations by op: put, delete, ref_hit, ref_miss, evict, bind_hit, bind_build.", "op"),
 		phaseDur: reg.HistogramVec("sam_phase_duration_seconds",
 			"Per-phase latency: setup and queue_wait on every request; bind, run, and assemble on traced runs.", nil, "phase"),
+		jobLat: reg.Histogram("sam_job_latency_seconds",
+			"Completed-job latency (prepare through finish); bucket counts merge across shards.", nil),
 	}
 	for _, tier := range []string{"mem", "disk", "compile"} {
 		m.resolutions.With(tier)
@@ -148,6 +156,7 @@ func (m *metrics) engines() (map[string]int64, int64) {
 // observe records one completed request's latency and simulated cycles.
 func (m *metrics) observe(d time.Duration, cycles int) {
 	m.cycles.Add(int64(cycles))
+	m.jobLat.Observe(d.Seconds())
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.latencies) < latWindow {
@@ -194,6 +203,17 @@ func (m *metrics) percentiles() (p50, p99 float64) {
 		return float64(lat[i]) / float64(time.Millisecond)
 	}
 	return at(0.50), at(0.99)
+}
+
+// latencyHist snapshots the mergeable job-latency histogram for /v1/stats:
+// the raw bucket layout a router needs to merge shards correctly.
+func (m *metrics) latencyHist() *HistogramSnapshot {
+	return &HistogramSnapshot{
+		Buckets: obs.DefBuckets,
+		Counts:  m.jobLat.BucketCounts(),
+		Sum:     m.jobLat.Sum(),
+		Count:   m.jobLat.Count(),
+	}
 }
 
 // counters returns the scalar counters.

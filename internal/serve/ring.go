@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringReplicas is how many virtual points each shard contributes to the
+// hash ring. More points smooth the keyspace split (each shard owns many
+// small arcs instead of one big one) at the cost of a larger sorted array;
+// 128 keeps the p99 imbalance under a few percent for small fleets while
+// lookups stay a binary search over shards×128 entries.
+const ringReplicas = 128
+
+// ring is a consistent-hash ring over shard indices. Points are hashed from
+// the shard's stable identity (its URL), not its position in the shard
+// list, so the key→shard mapping is deterministic across router restarts
+// and independent of flag order. The ring itself is immutable after build;
+// liveness is a lookup-time filter, which is exactly what makes ejection
+// remaps minimal — a dead shard's arcs fall through to the next live point
+// while every other key keeps its owner.
+type ring struct {
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds the ring from the shards' stable identities.
+func newRing(ids []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(ids)*ringReplicas)}
+	for i, id := range ids {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringHash(fmt.Sprintf("%s#%d", id, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on shard index so the ring is
+		// still deterministic.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r
+}
+
+// ringHash is the ring's point and key hash: FNV-1a finished with the
+// splitmix64 mixer. It is stable across processes and Go versions (unlike
+// maphash), which is what keeps the key→shard mapping fixed across router
+// restarts. The final mix matters: raw FNV of near-identical strings (the
+// "url#0", "url#1", ... virtual-node names) clusters badly, and clustered
+// ring points mean some shards own multiples of their fair share.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// lookup maps a key to the first live shard at or after the key's hash
+// position, wrapping around. alive reports per-shard liveness; a nil alive
+// treats every shard as live. Returns -1 when no shard is live.
+func (r *ring) lookup(key string, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if alive == nil || alive(p.shard) {
+			return p.shard
+		}
+	}
+	return -1
+}

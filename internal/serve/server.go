@@ -90,6 +90,13 @@ type Config struct {
 	// request: method, path, status, canonical program key, engine, cache
 	// tier, duration, and trace ID (samserve -logrequests wires stderr).
 	AccessLog io.Writer
+	// WarmupExprs are statements pre-compiled into the program cache before
+	// the server reports ready: GET /readyz answers 503 until every listed
+	// expression is compiled (default schedule at DefaultOpt), so a router
+	// or load balancer only sends traffic once the cache is hot. Expressions
+	// that fail to compile are skipped (reported via AccessLog) — a typo'd
+	// warm list must not wedge the shard unready forever.
+	WarmupExprs []string
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +145,12 @@ type Server struct {
 	mux     *http.ServeMux
 
 	nextID atomic.Int64
+
+	// ready flips once warm-up completes; draining flips when Close begins.
+	// GET /readyz reports 200 only in the window between the two — the
+	// shard's traffic-eligible lifetime as probes see it.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -227,6 +240,8 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("DELETE /v1/tensors/{name}", s.instrument("/v1/tensors/{name}", s.handleTensorDelete))
 	mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -235,7 +250,75 @@ func NewServer(cfg Config) *Server {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mux = mux
+	if len(cfg.WarmupExprs) == 0 {
+		s.ready.Store(true)
+	} else {
+		// Warm up off the constructor: NewServer returns immediately and the
+		// readiness probe holds traffic back until the cache is hot.
+		go s.warmup(cfg.WarmupExprs)
+	}
 	return s
+}
+
+// warmup pre-compiles each expression into the program cache, then marks
+// the server ready. Compile failures are skipped after logging: readiness
+// gates on the work finishing, not on every expression being valid.
+func (s *Server) warmup(exprs []string) {
+	for _, src := range exprs {
+		err := func() error {
+			e, err := lang.Parse(src)
+			if err != nil {
+				return err
+			}
+			sched := lang.Schedule{Opt: s.cfg.DefaultOpt}
+			key := lang.CanonicalKey(e, nil, sched)
+			_, _, err = s.cache.resolve(key, func() (*sim.Program, string, error) {
+				g, err := custard.Compile(e, nil, sched)
+				if err != nil {
+					return nil, "", err
+				}
+				p, err := sim.NewProgram(g)
+				if err != nil {
+					return nil, "", err
+				}
+				if s.disk != nil {
+					s.disk.store(key, p)
+				}
+				return p, "miss", nil
+			})
+			return err
+		}()
+		if err != nil && s.cfg.AccessLog != nil {
+			fmt.Fprintf(s.cfg.AccessLog, "warmup expr=%q error=%q\n", src, err)
+		}
+	}
+	s.ready.Store(true)
+}
+
+// Ready reports whether the server would answer GET /readyz with 200:
+// warm-up finished and draining has not begun.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// handleHealthz is the liveness probe: the process is up and serving HTTP.
+// Distinct from readiness — a draining shard is still alive (it must finish
+// its queue) but must not receive new traffic.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ProbeResponse{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only after warm-up hooks finish
+// and before drain begins. Routers and load balancers key shard liveness on
+// this endpoint, so flipping it is how a shard takes itself out of rotation
+// without dropping in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, ProbeResponse{Status: "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, ProbeResponse{Status: "warming"})
+	default:
+		writeJSON(w, http.StatusOK, ProbeResponse{Status: "ready"})
+	}
 }
 
 // reqInfo wraps a ResponseWriter to capture the status code and per-request
@@ -299,9 +382,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the job queue: admission stops (new submissions get 503) and
-// every queued and running job finishes before Close returns.
-func (s *Server) Close() { s.queue.drain() }
+// Close drains the job queue: the readiness probe flips to 503 first (so
+// routers stop sending traffic), then admission stops (new submissions get
+// 503) and every queued and running job finishes before Close returns.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.queue.drain()
+}
 
 // prepare validates a request and resolves its compiled program through the
 // cache. The returned setup duration covers parse, canonicalization, and —
@@ -751,6 +838,11 @@ type StatsResponse struct {
 	// from the requested one (comp falling back to event).
 	EngineRuns      map[string]int64 `json:"engine_runs"`
 	EngineFallbacks int64            `json:"engine_fallbacks"`
+	// LatencyHist is the completed-job latency histogram in mergeable form:
+	// a router aggregating shards sums the bucket counts element-wise and
+	// derives fleet-wide percentiles from the merged buckets, the only
+	// correct way to combine percentiles across nodes.
+	LatencyHist *HistogramSnapshot `json:"latency_hist,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -772,6 +864,7 @@ func (s *Server) Stats() StatsResponse {
 		TensorsRefHits: ten.refHits, TensorsRefMisses: ten.refMisses,
 		TensorsEvictions: ten.evictions,
 		TensorsBindHits:  ten.bindHits, TensorsBindBuilds: ten.bindBuilds,
+		LatencyHist: s.metrics.latencyHist(),
 	}
 	if s.disk != nil {
 		resp.DiskHits, resp.DiskMisses, resp.DiskWrites, resp.DiskErrors = s.disk.stats()

@@ -126,6 +126,9 @@ type TensorInfo struct {
 	Bytes int64 `json:"bytes"`
 	// Data is the tensor itself, included by GET /v1/tensors/{name}?data=1.
 	Data *WireTensor `json:"data,omitempty"`
+	// Tiles lists the per-shard row-block tile names of a tensor the router
+	// split across the fleet (router mode only; empty for plain tensors).
+	Tiles []string `json:"tiles,omitempty"`
 }
 
 // TensorRef stamps which stored tensor version served a {"ref": name}
@@ -206,6 +209,25 @@ type JobResponse struct {
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ProbeResponse is the body of GET /healthz and GET /readyz: "ok" from the
+// liveness probe; "ready", "warming", or "draining" from the readiness
+// probe (the latter two with status 503).
+type ProbeResponse struct {
+	Status string `json:"status"`
+}
+
+// HistogramSnapshot is a mergeable latency histogram on the wire: bucket
+// upper bounds in seconds and non-cumulative per-bucket counts with the
+// final +Inf bucket last (len(buckets)+1 entries). Two snapshots with the
+// same bucket layout merge exactly by summing counts element-wise — the
+// router's shard-aggregation path, which must never average percentiles.
+type HistogramSnapshot struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"`
+	Sum     float64   `json:"sum"`
+	Count   int64     `json:"count"`
 }
 
 // toCOO validates and converts a wire tensor.

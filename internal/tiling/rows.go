@@ -1,0 +1,98 @@
+package tiling
+
+import (
+	"fmt"
+	"sort"
+
+	"sam/internal/tensor"
+)
+
+// RowBlocks splits a matrix into n contiguous row-range blocks in the
+// global coordinate space: every block keeps the source's full dims and its
+// points keep their original coordinates, so block k holds exactly the rows
+// [k·ceil(R/n), (k+1)·ceil(R/n)). This is the scale-out tiling unit the
+// sharded serving layer stores one-per-shard: because the blocks partition
+// the row index's domain, any multiplicative einsum evaluated per block
+// yields partials that sum to the whole-matrix result (the same algebra
+// LaneReduce uses to add lane partials in a Par graph — rows a block does
+// not own contribute zero). Empty blocks are returned too; callers decide
+// whether an empty tile is worth storing.
+func RowBlocks(t *tensor.COO, n int) ([]*tensor.COO, error) {
+	if t.Order() != 2 {
+		return nil, fmt.Errorf("tiling: row blocks need an order-2 tensor, got order %d", t.Order())
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("tiling: row blocks need n >= 1, got %d", n)
+	}
+	rows := t.Dims[0]
+	if n > rows {
+		n = rows
+	}
+	per := (rows + n - 1) / n
+	out := make([]*tensor.COO, n)
+	for k := range out {
+		out[k] = tensor.NewCOO(t.Name, t.Dims...)
+	}
+	for _, p := range t.Pts {
+		k := int(p.Crd[0]) / per
+		if k >= n {
+			k = n - 1
+		}
+		out[k].Append(p.Val, p.Crd...)
+	}
+	for _, b := range out {
+		b.Sort()
+	}
+	return out, nil
+}
+
+// MergePartials sums per-block partial outputs coordinate-wise into one
+// tensor — the host-side combine of Figure 9 generalized to the sharded
+// serving layer, and the same add-the-partials rule as a LaneReduce
+// combiner tree. Exact zeros produced by cancellation are dropped, matching
+// the engines' output assembly. Every partial must share dims; name and
+// dims give the merged tensor's identity (partials may be empty).
+func MergePartials(name string, dims []int, parts []*tensor.COO) (*tensor.COO, error) {
+	acc := map[string]float64{}
+	crds := map[string][]int64{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if len(p.Dims) != len(dims) {
+			return nil, fmt.Errorf("tiling: partial %q has order %d, want %d", p.Name, len(p.Dims), len(dims))
+		}
+		for i, d := range p.Dims {
+			if d != dims[i] {
+				return nil, fmt.Errorf("tiling: partial %q dims %v, want %v", p.Name, p.Dims, dims)
+			}
+		}
+		for _, pt := range p.Pts {
+			k := fmt.Sprint(pt.Crd)
+			acc[k] += pt.Val
+			crds[k] = pt.Crd
+		}
+	}
+	out := tensor.NewCOO(name, dims...)
+	if len(dims) == 0 {
+		// Scalar output: partials carry at most one value each.
+		var v float64
+		for _, x := range acc {
+			v += x
+		}
+		out.Append(v)
+		return out, nil
+	}
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if acc[k] != 0 {
+			out.Append(acc[k], crds[k]...)
+		}
+	}
+	out.Sort()
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"sam/internal/tensor"
+)
+
+// TestRowBlocksPartition checks that row blocks partition the nonzeros by
+// row range, keep global dims and coordinates, and reassemble exactly via
+// MergePartials.
+func TestRowBlocksPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := tensor.UniformRandom("M", rng, 200, 31, 17)
+	for _, n := range []int{1, 2, 3, 7, 31, 40} {
+		blocks, err := RowBlocks(m, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantBlocks := n
+		if n > 31 {
+			wantBlocks = 31 // clamped to the row count
+		}
+		if len(blocks) != wantBlocks {
+			t.Fatalf("n=%d: got %d blocks, want %d", n, len(blocks), wantBlocks)
+		}
+		total := 0
+		per := (31 + len(blocks) - 1) / len(blocks)
+		for k, b := range blocks {
+			if b.Dims[0] != 31 || b.Dims[1] != 17 {
+				t.Fatalf("n=%d block %d: dims %v, want global [31 17]", n, k, b.Dims)
+			}
+			for _, p := range b.Pts {
+				row := int(p.Crd[0])
+				if row/per != k && !(row/per >= len(blocks) && k == len(blocks)-1) {
+					t.Fatalf("n=%d block %d holds row %d outside its range", n, k, row)
+				}
+			}
+			total += len(b.Pts)
+		}
+		if total != len(m.Pts) {
+			t.Fatalf("n=%d: blocks hold %d points, source has %d", n, total, len(m.Pts))
+		}
+		back, err := MergePartials("M", m.Dims, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := *m
+		ms.Sort()
+		if err := tensor.Equal(back, &ms, 0); err != nil {
+			t.Fatalf("n=%d: merge of blocks differs from source: %v", n, err)
+		}
+	}
+	if _, err := RowBlocks(tensor.NewCOO("v", 4), 2); err == nil {
+		t.Error("RowBlocks accepted an order-1 tensor")
+	}
+	if _, err := RowBlocks(m, 0); err == nil {
+		t.Error("RowBlocks accepted n=0")
+	}
+}
+
+// TestMergePartialsSums checks coordinate-wise summation semantics:
+// overlapping coordinates add, exact cancellation drops the point, scalars
+// sum into one value, and dim mismatches fail loudly.
+func TestMergePartialsSums(t *testing.T) {
+	a := tensor.NewCOO("p", 4)
+	a.Append(2, 1)
+	a.Append(1, 3)
+	b := tensor.NewCOO("p", 4)
+	b.Append(3, 1)
+	b.Append(-1, 3)
+	out, err := MergePartials("x", []int{4}, []*tensor.COO{a, b, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Pts) != 1 || out.Pts[0].Crd[0] != 1 || out.Pts[0].Val != 5 {
+		t.Fatalf("merge got %+v, want single point 5@[1] (cancellation at [3] dropped)", out.Pts)
+	}
+
+	s1 := tensor.NewCOO("s")
+	s1.Append(1.5)
+	s2 := tensor.NewCOO("s")
+	s2.Append(2.5)
+	sc, err := MergePartials("s", nil, []*tensor.COO{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Pts) != 1 || sc.Pts[0].Val != 4 {
+		t.Fatalf("scalar merge got %+v, want one value 4", sc.Pts)
+	}
+
+	wrong := tensor.NewCOO("w", 5)
+	if _, err := MergePartials("x", []int{4}, []*tensor.COO{a, wrong}); err == nil {
+		t.Error("MergePartials accepted mismatched dims")
+	}
+}
